@@ -1,0 +1,62 @@
+"""Rendering helpers: print figures the way the paper reports them.
+
+Latency figures print the probability-plot coordinates at the paper's
+y-axis ticks plus an ASCII rendering; bandwidth figures print the 10-second
+MB/s series and averages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.figures import BandwidthFigure, LatencyFigure
+from repro.metrics.latency import percentile
+from repro.metrics.probability_plot import PAPER_Y_TICKS
+from repro.metrics.report import format_table
+
+
+def latency_figure_rows(figure: LatencyFigure) -> str:
+    """The paper's CDF read-outs: latency at each probability tick."""
+    ticks = [p for p in PAPER_Y_TICKS if 0.01 <= p <= 0.9999]
+    headers = ["fraction"] + list(figure.curves)
+    rows = []
+    for tick in ticks:
+        row: List[object] = [f"{tick:g}"]
+        for label in figure.curves:
+            samples = sorted(point.latency for point in figure.curves[label])
+            row.append(percentile(samples, tick))
+        rows.append(row)
+    return format_table(headers, rows, title=f"{figure.name}: latency (s) at CDF fractions")
+
+
+def ascii_plot(series: Sequence[float], width: int = 60, height: int = 12, label: str = "") -> str:
+    """A small ASCII chart of a time series."""
+    if not series:
+        return f"{label}: (empty)"
+    peak = max(series) or 1.0
+    columns = min(width, len(series))
+    step = len(series) / columns
+    sampled = [series[int(i * step)] for i in range(columns)]
+    lines = []
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        line = "".join("█" if value >= threshold else " " for value in sampled)
+        lines.append(f"{threshold:8.2f} |{line}")
+    lines.append(" " * 9 + "+" + "-" * columns)
+    if label:
+        lines.insert(0, label)
+    return "\n".join(lines)
+
+
+def bandwidth_figure_report(figure: BandwidthFigure) -> str:
+    parts = [
+        f"{figure.name}: network utilization, {figure.interval:.0f}-second aggregation",
+        ascii_plot(figure.leader_series, label=f"leader peer (avg {figure.leader_average:.2f} MB/s)"),
+        ascii_plot(figure.regular_series, label=f"regular peer (avg {figure.regular_average:.2f} MB/s)"),
+    ]
+    return "\n".join(parts)
+
+
+def summary_lines(name: str, values: Dict[str, object]) -> str:
+    body = "\n".join(f"  {key}: {value}" for key, value in values.items())
+    return f"{name}\n{body}"

@@ -1,0 +1,66 @@
+"""Appendix / §IV: pe targets, TTL selection and the TTL lookup table.
+
+Paper claims verified:
+* (fout=4, TTL=9)  → pe ≤ 1e-6 at n=100;
+* (fout=2, TTL=19) → pe ≤ 1e-6 at n=100;
+* (fout=4, TTL=12) → pe ≤ 1e-12 at n=100;
+* TTL varies slowly with n, so a small (n, pe) lookup table suffices;
+* the pair epidemic empirically reaches all peers (Monte Carlo).
+"""
+
+import random
+
+from benchmarks.conftest import run_once
+from repro.analysis.montecarlo import simulate_infect_upon_contagion
+from repro.analysis.pe import imperfect_dissemination_probability, ttl_for_target
+from repro.analysis.ttl_table import TTLTable
+from repro.metrics.report import format_table
+
+
+def test_appendix_pe_analysis(benchmark, full_scale):
+    runs = 3_000 if full_scale else 500
+
+    def experiment():
+        table = TTLTable(fout=4)
+        mc_f4 = simulate_infect_upon_contagion(100, 4, ttl=9, runs=runs, rng=random.Random(1))
+        mc_f2 = simulate_infect_upon_contagion(100, 2, ttl=19, runs=runs, rng=random.Random(2))
+        return table, mc_f4, mc_f2
+
+    table, mc_f4, mc_f2 = run_once(benchmark, experiment)
+
+    rows = [
+        [
+            "fout=4, TTL=9", "1e-6",
+            f"{imperfect_dissemination_probability(100, 4, 9):.2e}",
+            ttl_for_target(100, 4, 1e-6),
+        ],
+        [
+            "fout=2, TTL=19", "1e-6",
+            f"{imperfect_dissemination_probability(100, 2, 19):.2e}",
+            ttl_for_target(100, 2, 1e-6),
+        ],
+        [
+            "fout=4, TTL=12", "1e-12",
+            f"{imperfect_dissemination_probability(100, 4, 12):.2e}",
+            ttl_for_target(100, 4, 1e-12),
+        ],
+    ]
+    print()
+    print(format_table(["configuration", "paper pe", "computed pe bound", "minimal TTL"], rows,
+                       title="pe analysis at n=100 (paper §IV / appendix)"))
+    print()
+    table_rows = [
+        [n] + [entries[pe] for pe in table.pe_targets]
+        for n, entries in table.rows()
+    ]
+    print(format_table(
+        ["n"] + [f"TTL @ pe={pe:g}" for pe in table.pe_targets],
+        table_rows,
+        title="(n, pe) -> TTL lookup table, fout=4 (paper §IV)",
+    ))
+
+    assert ttl_for_target(100, 4, 1e-6) == 9
+    assert ttl_for_target(100, 2, 1e-6) == 19
+    assert ttl_for_target(100, 4, 1e-12) == 12
+    assert mc_f4.full_coverage_fraction == 1.0
+    assert mc_f2.full_coverage_fraction == 1.0

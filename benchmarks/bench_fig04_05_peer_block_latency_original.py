@@ -1,0 +1,45 @@
+"""Figures 4 & 5: dissemination latency with the ORIGINAL Fabric gossip.
+
+Fig. 4 — latency at the peer level (fastest/median/slowest peers);
+Fig. 5 — latency at the block level (fastest/median/slowest blocks).
+Paper behaviour to reproduce: logistic-looking fast phase followed by a fat
+tail — the last ~5% of receptions take one to several seconds (pull phase).
+"""
+
+from benchmarks._render import latency_figure_rows, summary_lines
+from benchmarks.conftest import run_once
+from repro.experiments.dissemination import run_dissemination
+from repro.experiments.figures import config_original, peer_level_figure, block_level_figure
+from repro.metrics.probability_plot import tail_latency
+
+
+def test_fig4_fig5_original_latency(benchmark, full_scale):
+    result = run_once(
+        benchmark, lambda: run_dissemination(config_original(full=full_scale, seed=1))
+    )
+    assert result.coverage_complete()
+
+    fig4 = peer_level_figure(result, "Figure 4 (original, peer level)")
+    fig5 = block_level_figure(result, "Figure 5 (original, block level)")
+    print()
+    print(latency_figure_rows(fig4))
+    print()
+    print(latency_figure_rows(fig5))
+    latencies = result.tracker.all_latencies()
+    print()
+    print(
+        summary_lines(
+            "Original gossip dissemination",
+            {
+                "p95 latency (s)": f"{tail_latency(latencies, 0.95):.3f}",
+                "worst latency (s)": f"{max(latencies):.3f}",
+                "blocks obtained via pull": result.pull_usage(),
+                "blocks obtained via recovery": result.recovery_usage(),
+            },
+        )
+    )
+    # Paper shape: the tail (last 5%) is dominated by the pull period —
+    # one to several seconds, far above the sub-second push phase.
+    assert tail_latency(latencies, 0.5) < 0.5
+    assert max(latencies) > 1.0
+    assert result.pull_usage() > 0

@@ -1,0 +1,32 @@
+"""Figure 6: bandwidth of the leader and a regular peer, ORIGINAL gossip.
+
+Paper behaviour: ~1 MB/s per peer during the workload (block pushes
+dominate: each block crosses the wire ~282 times at n=100), dropping to a
+~0.4 MB/s background floor when transaction generation ends.
+"""
+
+from benchmarks._render import bandwidth_figure_report
+from benchmarks.conftest import run_once
+from repro.experiments.dissemination import run_dissemination
+from repro.experiments.figures import bandwidth_figure, config_original
+
+
+def test_fig6_original_bandwidth(benchmark, full_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_dissemination(config_original(full=full_scale, seed=1, with_background=True)),
+    )
+    figure = bandwidth_figure(result, "Figure 6 (original gossip)")
+    print()
+    print(bandwidth_figure_report(figure))
+
+    counts = result.bandwidth_report().message_counts()
+    per_block = counts["BlockPush"] / result.config.blocks
+    print(f"\nfull-block transmissions per block: {per_block:.0f} (paper: ~282 at n=100)")
+
+    # Paper: each block transmitted in full ~n*fout*coverage ≈ 282 times.
+    assert 250 <= per_block <= 300
+    # Idle tail drops to the background floor.
+    idle_bins = [v for v in figure.regular_series[-3:]]
+    work_bins = figure.regular_series[: max(1, len(figure.regular_series) // 2)]
+    assert max(idle_bins) < sum(work_bins) / len(work_bins)

@@ -1,0 +1,44 @@
+"""Figures 7 & 8: latency with the ENHANCED gossip, fout=4, TTL=9.
+
+Paper behaviour: every block reaches every peer in < 0.5 s; the curves are
+nearly linear on logistic probability paper; neither pull (removed) nor
+recovery is ever needed.
+"""
+
+from benchmarks._render import latency_figure_rows, summary_lines
+from benchmarks.conftest import run_once
+from repro.experiments.dissemination import run_dissemination
+from repro.experiments.figures import (
+    block_level_figure,
+    config_enhanced_f4,
+    peer_level_figure,
+)
+
+
+def test_fig7_fig8_enhanced_f4_latency(benchmark, full_scale):
+    result = run_once(
+        benchmark, lambda: run_dissemination(config_enhanced_f4(full=full_scale, seed=1))
+    )
+    assert result.coverage_complete()
+
+    fig7 = peer_level_figure(result, "Figure 7 (enhanced f4, peer level)")
+    fig8 = block_level_figure(result, "Figure 8 (enhanced f4, block level)")
+    print()
+    print(latency_figure_rows(fig7))
+    print()
+    print(latency_figure_rows(fig8))
+    latencies = result.tracker.all_latencies()
+    print()
+    print(
+        summary_lines(
+            "Enhanced gossip (fout=4, TTL=9, TTLdirect=2)",
+            {
+                "worst latency (s)": f"{max(latencies):.3f}",
+                "recovery fetches": result.recovery_usage(),
+            },
+        )
+    )
+    # Paper: all blocks reach all peers in less than half a second.
+    assert max(latencies) < 0.5
+    assert result.pull_usage() == 0
+    assert result.recovery_usage() == 0

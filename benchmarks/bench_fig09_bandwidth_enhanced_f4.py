@@ -1,0 +1,37 @@
+"""Figure 9: bandwidth with the ENHANCED gossip, fout=4, TTL=9.
+
+Paper behaviour: regular-peer (and total) bandwidth drops by more than 40%
+versus the original module (Fig. 6); full blocks cross the wire only
+n + o(n) times; the leader is no hotter than a regular peer.
+"""
+
+from benchmarks._render import bandwidth_figure_report
+from benchmarks.conftest import run_once
+from repro.experiments.dissemination import run_dissemination
+from repro.experiments.figures import bandwidth_figure, config_enhanced_f4, config_original
+
+
+def test_fig9_enhanced_f4_bandwidth(benchmark, full_scale):
+    def experiment():
+        enhanced = run_dissemination(config_enhanced_f4(full=full_scale, seed=1, with_background=True))
+        original = run_dissemination(config_original(full=full_scale, seed=1, with_background=True))
+        return enhanced, original
+
+    enhanced, original = run_once(benchmark, experiment)
+    figure = bandwidth_figure(enhanced, "Figure 9 (enhanced f4)")
+    print()
+    print(bandwidth_figure_report(figure))
+
+    enhanced_avg = enhanced.average_regular_peer_mb_per_s()
+    original_avg = original.average_regular_peer_mb_per_s()
+    reduction = 1.0 - enhanced_avg / original_avg
+    counts = enhanced.bandwidth_report().message_counts()
+    per_block = counts["BlockPush"] / enhanced.config.blocks
+    print(f"\nregular peer avg: {enhanced_avg:.2f} MB/s vs original {original_avg:.2f} MB/s")
+    print(f"bandwidth reduction: {reduction * 100:.0f}% (paper: >40%)")
+    print(f"full-block transmissions per block: {per_block:.0f} (paper: n + o(n) ≈ 100-110)")
+
+    assert reduction > 0.30
+    assert per_block <= enhanced.config.n_peers * 1.2
+    leader = enhanced.average_leader_mb_per_s()
+    assert leader < 1.3 * enhanced_avg  # randomized initial gossiper works

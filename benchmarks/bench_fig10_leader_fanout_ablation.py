@@ -1,0 +1,43 @@
+"""Figure 10 (ablation): the leader pushes with f_leader_out = fout = 4.
+
+Paper behaviour: the leader's bandwidth rises well above a regular peer's
+(it transmits every block fout times in full), demonstrating why the
+randomized-initial-gossiper enhancement (f_leader_out = 1) matters.
+"""
+
+from benchmarks._render import bandwidth_figure_report
+from benchmarks.conftest import run_once
+from repro.experiments.dissemination import run_dissemination
+from repro.experiments.figures import (
+    bandwidth_figure,
+    config_enhanced_f4,
+    config_leader_fanout_ablation,
+)
+
+
+def test_fig10_leader_fanout_ablation(benchmark, full_scale):
+    def experiment():
+        ablation = run_dissemination(
+            config_leader_fanout_ablation(full=full_scale, seed=1, with_background=True)
+        )
+        baseline = run_dissemination(
+            config_enhanced_f4(full=full_scale, seed=1, with_background=True)
+        )
+        return ablation, baseline
+
+    ablation, baseline = run_once(benchmark, experiment)
+    figure = bandwidth_figure(ablation, "Figure 10 (f_leader_out = fout = 4)")
+    print()
+    print(bandwidth_figure_report(figure))
+
+    ablation_ratio = ablation.average_leader_mb_per_s() / ablation.average_regular_peer_mb_per_s()
+    baseline_ratio = baseline.average_leader_mb_per_s() / baseline.average_regular_peer_mb_per_s()
+    print(f"\nleader/regular utilization ratio: {ablation_ratio:.2f} (ablation)"
+          f" vs {baseline_ratio:.2f} (f_leader_out=1)")
+
+    # The ablation makes the leader a clear hotspot; with f_leader_out = 1
+    # the leader stays close to a regular peer (it still receives every
+    # block from the orderer and transmits it once, hence slightly above).
+    assert ablation_ratio > 1.45
+    assert baseline_ratio < 1.35
+    assert ablation_ratio > baseline_ratio + 0.15

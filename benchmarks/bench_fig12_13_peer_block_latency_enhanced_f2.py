@@ -1,0 +1,53 @@
+"""Figures 12 & 13: latency with the ENHANCED gossip, fout=2, TTL=19.
+
+Paper behaviour: halving fout halves the early slope of the CDF versus
+fout=4 (Fig. 7/8), but tails and worst cases stay similar — fout=4 is an
+aggressive choice and fout=2 balances load better.
+"""
+
+from benchmarks._render import latency_figure_rows, summary_lines
+from benchmarks.conftest import run_once
+from repro.experiments.dissemination import run_dissemination
+from repro.experiments.figures import (
+    block_level_figure,
+    config_enhanced_f2,
+    config_enhanced_f4,
+    peer_level_figure,
+)
+from repro.metrics.probability_plot import tail_latency
+
+
+def test_fig12_fig13_enhanced_f2_latency(benchmark, full_scale):
+    def experiment():
+        f2 = run_dissemination(config_enhanced_f2(full=full_scale, seed=1))
+        f4 = run_dissemination(config_enhanced_f4(full=full_scale, seed=1))
+        return f2, f4
+
+    f2, f4 = run_once(benchmark, experiment)
+    assert f2.coverage_complete()
+
+    fig12 = peer_level_figure(f2, "Figure 12 (enhanced f2, peer level)")
+    fig13 = block_level_figure(f2, "Figure 13 (enhanced f2, block level)")
+    print()
+    print(latency_figure_rows(fig12))
+    print()
+    print(latency_figure_rows(fig13))
+
+    latencies_f2 = f2.tracker.all_latencies()
+    latencies_f4 = f4.tracker.all_latencies()
+    median_ratio = tail_latency(latencies_f2, 0.5) / tail_latency(latencies_f4, 0.5)
+    worst_ratio = max(latencies_f2) / max(latencies_f4)
+    print()
+    print(
+        summary_lines(
+            "fout=2/TTL=19 vs fout=4/TTL=9",
+            {
+                "median latency ratio": f"{median_ratio:.2f} (paper: early slope ~halved)",
+                "worst-case latency ratio": f"{worst_ratio:.2f} (paper: similar tails)",
+            },
+        )
+    )
+    assert max(latencies_f2) < 0.7  # still well below the original module
+    assert median_ratio > 1.2  # slower early growth...
+    assert worst_ratio < 2.5  # ...but comparable worst case
+    assert f2.recovery_usage() == 0

@@ -1,0 +1,37 @@
+"""Figure 14: bandwidth with the ENHANCED gossip, fout=2, TTL=19.
+
+Paper behaviour: average and overall bandwidth essentially unchanged versus
+fout=4/TTL=9 (Fig. 9) — the digest count is pinned by the target pe, not by
+fout.
+"""
+
+from benchmarks._render import bandwidth_figure_report
+from benchmarks.conftest import run_once
+from repro.experiments.dissemination import run_dissemination
+from repro.experiments.figures import (
+    bandwidth_figure,
+    config_enhanced_f2,
+    config_enhanced_f4,
+)
+
+
+def test_fig14_enhanced_f2_bandwidth(benchmark, full_scale):
+    def experiment():
+        f2 = run_dissemination(config_enhanced_f2(full=full_scale, seed=1, with_background=True))
+        f4 = run_dissemination(config_enhanced_f4(full=full_scale, seed=1, with_background=True))
+        return f2, f4
+
+    f2, f4 = run_once(benchmark, experiment)
+    figure = bandwidth_figure(f2, "Figure 14 (enhanced f2)")
+    print()
+    print(bandwidth_figure_report(figure))
+
+    f2_avg = f2.average_regular_peer_mb_per_s()
+    f4_avg = f4.average_regular_peer_mb_per_s()
+    print(f"\nregular peer avg: f2 {f2_avg:.2f} MB/s vs f4 {f4_avg:.2f} MB/s "
+          f"(paper: essentially unchanged)")
+
+    assert abs(f2_avg - f4_avg) / f4_avg < 0.15
+    counts = f2.bandwidth_report().message_counts()
+    per_block = counts["BlockPush"] / f2.config.blocks
+    assert per_block <= f2.config.n_peers * 1.2  # still n + o(n) full copies

@@ -1,0 +1,32 @@
+"""Extension bench (§VII): scaling the organization with table-driven TTLs.
+
+The paper argues epidemic dissemination improves with n (law of large
+numbers) and that TTL varies slowly with n (§IV). This bench sweeps the
+organization size, letting the TTL lookup table pick parameters for
+pe <= 1e-6, and checks: full-block copies stay ~n + o(n); median latency
+grows far slower than n (logarithmic epidemic depth).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.scaling import render_scaling_study, run_scaling_study
+
+
+def test_scaling_study(benchmark, full_scale):
+    sizes = (25, 50, 100, 200) if full_scale else (25, 50, 100)
+    blocks = 20 if full_scale else 8
+
+    points = run_once(
+        benchmark, lambda: run_scaling_study(sizes=sizes, blocks=blocks, seed=1)
+    )
+    print()
+    print(render_scaling_study(points))
+
+    for point in points:
+        assert point.pe_bound <= 1e-6  # table-driven TTL hits the target
+        assert 0.9 <= point.pushes_per_peer <= 1.6  # n + o(n) full copies
+    smallest, largest = points[0], points[-1]
+    size_ratio = largest.n_peers / smallest.n_peers
+    latency_ratio = largest.median_latency / smallest.median_latency
+    print(f"\nn grew {size_ratio:.0f}x; median latency grew {latency_ratio:.2f}x "
+          f"(logarithmic epidemic depth)")
+    assert latency_ratio < size_ratio / 2

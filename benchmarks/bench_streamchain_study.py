@@ -1,0 +1,32 @@
+"""Extension bench (§VII): StreamChain-style ordering vs blocks.
+
+The paper's discussion anticipates that replacing blocks with a stream of
+individually ordered transactions would "put a stronger emphasis on the
+impact of gossip". Measured here: under streaming, the enhanced module
+slashes end-to-end commit latency (no batch wait, sub-second gossip) while
+the original module's bounded pull window falls behind the block rate and
+commit latency *regresses* past block-based ordering.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.streamchain import render_streamchain_study, run_streamchain_study
+
+
+def test_streamchain_study(benchmark, full_scale):
+    n_peers = 100 if full_scale else 30
+    transactions = 300 if full_scale else 80
+
+    results = run_once(
+        benchmark,
+        lambda: run_streamchain_study(n_peers=n_peers, transactions=transactions, seed=1),
+    )
+    print()
+    print(render_streamchain_study(results))
+
+    by_key = {(r.ordering, "Original" in r.gossip): r for r in results}
+    stream_enhanced = by_key[("stream", False)]
+    stream_original = by_key[("stream", True)]
+    blocks_enhanced = by_key[("blocks", False)]
+
+    assert stream_enhanced.commit_latency.p50 < 0.5 * blocks_enhanced.commit_latency.p50
+    assert stream_original.commit_latency.p50 > stream_enhanced.commit_latency.p50 * 5

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the same rows/series the paper reports (plus a rendered ASCII plot). The
+default scale is laptop-sized — 100 peers with fewer blocks — and setting
+``REPRO_FULL=1`` switches to the paper's full 1,000-block / 10,000-tx runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # scaled
+    REPRO_FULL=1 pytest benchmarks/ --benchmark-only  # paper scale
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL
+
+
+def run_once(benchmark, function):
+    """Benchmark a whole-experiment function exactly once.
+
+    Simulation experiments are deterministic and expensive; statistical
+    repetition belongs to the experiment seeds, not the timer.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

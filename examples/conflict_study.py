@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Consistency conflicts vs. gossip module (paper Table II in miniature).
+
+Runs the full execute-order-validate pipeline — client, single endorser,
+ordering service, 100 gossiping peers — under two block periods with both
+gossip modules, counting validation-time conflicts both ways (MVCC failures
+and the paper's ledger-sum method). Takes ~1-2 min.
+
+Usage::
+
+    python examples/conflict_study.py
+"""
+
+from repro import ConflictExperimentConfig, run_conflict_experiment
+from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    rows = []
+    for period in (2.0, 0.75):
+        cells = {}
+        for label, gossip in (
+            ("original", OriginalGossipConfig()),
+            ("enhanced", EnhancedGossipConfig.paper_f4()),
+        ):
+            config = ConflictExperimentConfig.scaled(
+                gossip=gossip, block_period=period, seed=3
+            )
+            print(f"running block period {period} s with {label} gossip "
+                  f"({config.total_transactions} transactions)...")
+            result = run_conflict_experiment(config)
+            assert result.invalidated == result.invalidated_by_ledger, (
+                "MVCC counter and ledger-sum check must agree"
+            )
+            cells[label] = result
+        original, enhanced = cells["original"], cells["enhanced"]
+        difference = (enhanced.invalidated - original.invalidated) / max(1, original.invalidated)
+        rows.append([
+            period,
+            original.tx_per_block,
+            original.validation_time_per_block,
+            original.invalidated,
+            enhanced.invalidated,
+            f"{difference * 100:+.0f}%",
+        ])
+
+    print()
+    print(format_table(
+        ["Block period (s)", "Tx/block", "Validation (s)",
+         "Conflicts (original)", "Conflicts (enhanced)", "Difference"],
+        rows,
+        title="Validation-time conflicts (scaled Table II: 20 hot keys, 1,000 tx)",
+    ))
+    print("\nPaper shape: the enhanced module always invalidates fewer transactions,")
+    print("and its advantage grows as the block period shrinks (-17% at 2 s to -36%")
+    print("at 0.75 s in the paper's full-scale runs).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — Fair and Efficient Gossip in Hyperledger Fabric (ICDCS 2020).
+
+A full reproduction of Berendea, Mercier, Onica and Rivière's paper: a
+discrete-event simulation of Hyperledger Fabric's execute-order-validate
+pipeline, both the original and the enhanced gossip dissemination modules,
+the analytical model of the push phase, and the complete experiment harness
+for every figure and table of the evaluation.
+
+Quickstart::
+
+    from repro import (
+        DisseminationConfig, EnhancedGossipConfig, run_dissemination,
+    )
+
+    config = DisseminationConfig.scaled(gossip=EnhancedGossipConfig.paper_f4())
+    result = run_dissemination(config)
+    print(result.latency_summary())
+"""
+
+from repro.analysis import (
+    carrying_capacity,
+    imperfect_dissemination_probability,
+    infect_and_die_distribution,
+    ttl_for_target,
+)
+from repro.experiments import (
+    ConflictExperimentConfig,
+    DisseminationConfig,
+    DisseminationResult,
+    build_network,
+    run_conflict_experiment,
+    run_dissemination,
+)
+from repro.gossip import (
+    EnhancedGossip,
+    EnhancedGossipConfig,
+    OriginalGossip,
+    OriginalGossipConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConflictExperimentConfig",
+    "DisseminationConfig",
+    "DisseminationResult",
+    "EnhancedGossip",
+    "EnhancedGossipConfig",
+    "OriginalGossip",
+    "OriginalGossipConfig",
+    "__version__",
+    "build_network",
+    "carrying_capacity",
+    "imperfect_dissemination_probability",
+    "infect_and_die_distribution",
+    "run_conflict_experiment",
+    "run_dissemination",
+    "ttl_for_target",
+]

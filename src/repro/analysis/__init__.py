@@ -1,0 +1,60 @@
+"""Analytical model of the push phase (paper §IV and appendix).
+
+Implements, exactly as derived in the paper's appendix:
+
+* the carrying capacity γ of the per-round digest epidemic, via the
+  principal branch of the Lambert-W function
+  (:mod:`repro.analysis.carrying`);
+* the recursion ``ψ(r+1) = n(1 − (1 − 1/n)^{fout·ψ(r)})`` bounding the
+  expected number of peers reached per round
+  (:mod:`repro.analysis.recursion`);
+* the logistic lower bound ``X(t) = γ f^t / (γ + f^t − 1)``
+  (:mod:`repro.analysis.logistic`);
+* the expected digest count m and the probability of imperfect
+  dissemination ``pe ≤ n (1 − 1/n)^m``, inverted to obtain the TTL needed
+  for a target pe (:mod:`repro.analysis.pe`) and tabulated as the paper's
+  ``(n, pe) → TTL`` lookup table (:mod:`repro.analysis.ttl_table`);
+* the exact absorption analysis and Monte Carlo of Fabric's original
+  infect-and-die push — the "94 peers on average, σ 2.6, 282 full
+  transmissions" computation of §IV
+  (:mod:`repro.analysis.infect_and_die`,
+  :mod:`repro.analysis.montecarlo`).
+"""
+
+from repro.analysis.carrying import carrying_capacity
+from repro.analysis.coupon import (
+    refined_imperfect_dissemination_probability,
+    refined_ttl_for_target,
+)
+from repro.analysis.infect_and_die import InfectAndDieAnalysis, infect_and_die_distribution
+from repro.analysis.logistic import logistic_growth
+from repro.analysis.montecarlo import (
+    simulate_infect_and_die,
+    simulate_infect_upon_contagion,
+)
+from repro.analysis.pe import (
+    expected_digests,
+    imperfect_dissemination_probability,
+    rounds_estimate,
+    ttl_for_target,
+)
+from repro.analysis.recursion import psi, psi_sequence
+from repro.analysis.ttl_table import TTLTable
+
+__all__ = [
+    "InfectAndDieAnalysis",
+    "TTLTable",
+    "carrying_capacity",
+    "expected_digests",
+    "imperfect_dissemination_probability",
+    "infect_and_die_distribution",
+    "logistic_growth",
+    "psi",
+    "psi_sequence",
+    "refined_imperfect_dissemination_probability",
+    "refined_ttl_for_target",
+    "rounds_estimate",
+    "simulate_infect_and_die",
+    "simulate_infect_upon_contagion",
+    "ttl_for_target",
+]

@@ -1,0 +1,50 @@
+"""Carrying capacity of the per-round digest epidemic.
+
+The recursion ψ (see :mod:`repro.analysis.recursion`) converges to a limit
+γ — the *carrying capacity* — because it is monotonically increasing and
+bounded by n. The paper (after Corless et al. [12]) gives the closed form
+
+    γ = n · (fout + W(−fout · e^{−fout})) / fout
+
+with W the principal branch of the Lambert-W function. γ is the stable
+number of peers that receive at least one push digest per round once the
+epidemic saturates: for fout=4 and n=100, γ ≈ 98.0; for fout=2, γ ≈ 79.7.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.special import lambertw
+
+
+def carrying_capacity(n: int, fout: int) -> float:
+    """γ: the fixed point of ψ, via the principal Lambert-W branch.
+
+    Args:
+        n: network size (peers in the organization).
+        fout: push fan-out; must be >= 2 for a non-degenerate epidemic
+            (at fout = 1 the branching process is critical and W's
+            argument hits the branch point −1/e).
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 peers, got n={n}")
+    if fout < 2:
+        raise ValueError(f"carrying capacity requires fout >= 2, got {fout}")
+    argument = -fout * math.exp(-fout)
+    w = lambertw(argument, k=0)
+    if abs(w.imag) > 1e-12:
+        raise ArithmeticError(f"unexpected complex Lambert-W value {w}")
+    gamma = n * (fout + w.real) / fout
+    return float(gamma)
+
+
+def fixed_point_residual(n: int, fout: int, gamma: float) -> float:
+    """Residual of γ in the fixed-point equation x = n(1 − (1−1/n)^{fout·x}).
+
+    Near zero when ``gamma`` solves the equation — used to cross-check the
+    closed form against the recursion. Note the closed form uses the
+    continuous approximation (1 − 1/n)^x ≈ e^{−x/n}, so the residual is
+    small but not machine-zero for finite n.
+    """
+    return gamma - n * (1.0 - math.exp(-fout * gamma / n))

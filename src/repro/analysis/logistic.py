@@ -1,0 +1,52 @@
+"""Logistic lower bound on the epidemic growth.
+
+The appendix models the population X(t) of the digest epidemic with the
+logistic differential equation dX/dt = κX(1 − X/γ), whose solution with
+X(0) = 1 and e^κ = fout is
+
+    X(t) = γ · fout^t / (γ + fout^t − 1),
+
+and proves ψ(r) ≥ X(r) for fout ≥ 2. This is both the analytic handle for
+the round-count estimate and the reason the latency CDFs look linear on
+logistic probability paper (Figs. 4-8, 12-13).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.carrying import carrying_capacity
+
+
+def logistic_growth(t: float, n: int, fout: int, x0: float = 1.0) -> float:
+    """X(t) = γ x0 f^t / (γ + x0(f^t − 1)) for the given network.
+
+    Args:
+        t: time in rounds (may be fractional).
+        n: network size.
+        fout: fan-out (>= 2).
+        x0: initial population (1 in the paper).
+    """
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    gamma = carrying_capacity(n, fout)
+    ft = float(fout) ** t
+    return gamma * x0 * ft / (gamma + x0 * (ft - 1.0))
+
+
+def logistic_limit(n: int, fout: int) -> float:
+    """lim_{t→∞} X(t) = γ."""
+    return carrying_capacity(n, fout)
+
+
+def time_to_reach(target: float, n: int, fout: int, x0: float = 1.0) -> float:
+    """Invert X(t) = target: rounds until the epidemic reaches ``target``.
+
+    Raises ValueError if ``target`` is not strictly between x0 and γ.
+    """
+    gamma = carrying_capacity(n, fout)
+    if not x0 < target < gamma:
+        raise ValueError(f"target must be in ({x0}, {gamma:.3f}), got {target}")
+    # Solve gamma*x0*f^t / (gamma + x0*(f^t - 1)) = target for f^t.
+    ft = target * (gamma - x0) / (x0 * (gamma - target))
+    return math.log(ft) / math.log(fout)

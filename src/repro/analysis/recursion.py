@@ -1,0 +1,47 @@
+"""The ψ recursion bounding the expected per-round reach.
+
+Let X_r be the number of peers that receive at least one push digest
+during round r. With φ(x) = n(1 − (1 − 1/n)^{fout·x}) and Jensen's
+inequality (φ concave), E[X_{r+1}] ≤ φ(E[X_r]), so the deterministic
+sequence
+
+    ψ(0) = 1,   ψ(r+1) = φ(ψ(r))
+
+upper-bounds the expectations round by round. ψ increases monotonically to
+the carrying capacity γ (:mod:`repro.analysis.carrying`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def phi(x: float, n: int, fout: int) -> float:
+    """φ(x) = n(1 − (1 − 1/n)^{fout·x}): expected reach of fout·x digests."""
+    if n < 2:
+        raise ValueError(f"need at least 2 peers, got n={n}")
+    if fout < 1:
+        raise ValueError(f"fout must be >= 1, got {fout}")
+    if x < 0:
+        raise ValueError(f"x must be >= 0, got {x}")
+    return n * (1.0 - (1.0 - 1.0 / n) ** (fout * x))
+
+
+def psi(r: int, n: int, fout: int, x0: float = 1.0) -> float:
+    """ψ(r): the r-th iterate of φ starting from ψ(0) = x0."""
+    if r < 0:
+        raise ValueError(f"round must be >= 0, got {r}")
+    value = x0
+    for _ in range(r):
+        value = phi(value, n, fout)
+    return value
+
+
+def psi_sequence(rounds: int, n: int, fout: int, x0: float = 1.0) -> List[float]:
+    """[ψ(0), ψ(1), ..., ψ(rounds)] (length rounds + 1)."""
+    if rounds < 0:
+        raise ValueError(f"rounds must be >= 0, got {rounds}")
+    values = [x0]
+    for _ in range(rounds):
+        values.append(phi(values[-1], n, fout))
+    return values

@@ -1,0 +1,69 @@
+"""The (n, pe) → TTL lookup table of paper §IV.
+
+"TTL varies slowly with n; we can, therefore, store a small number of TTL
+values for (n, pe) pairs in a lookup table. Peers can adjust TTL using the
+lowest upper bound for the number of peers appearing in the table."
+
+:class:`TTLTable` precomputes that table for a grid of network sizes and
+target probabilities, and resolves a concrete organization size to the
+entry for the smallest tabulated n that upper-bounds it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.pe import ttl_for_target
+
+DEFAULT_SIZES = (10, 25, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000)
+DEFAULT_TARGETS = (1e-6, 1e-9, 1e-12)
+
+
+class TTLTable:
+    """Precomputed TTL lookup, as peers would ship it."""
+
+    def __init__(
+        self,
+        fout: int,
+        sizes: Sequence[int] = DEFAULT_SIZES,
+        pe_targets: Sequence[float] = DEFAULT_TARGETS,
+    ) -> None:
+        if fout < 2:
+            raise ValueError(f"fout must be >= 2, got {fout}")
+        self.fout = fout
+        self.sizes: Tuple[int, ...] = tuple(sorted(sizes))
+        self.pe_targets: Tuple[float, ...] = tuple(sorted(pe_targets, reverse=True))
+        self._table: Dict[Tuple[int, float], int] = {}
+        for n in self.sizes:
+            for pe in self.pe_targets:
+                self._table[(n, pe)] = ttl_for_target(n, self.fout, pe)
+
+    def entry(self, n: int, pe_target: float) -> int:
+        """The TTL stored for the exact grid point (n, pe_target)."""
+        try:
+            return self._table[(n, pe_target)]
+        except KeyError:
+            raise KeyError(f"(n={n}, pe={pe_target}) not tabulated") from None
+
+    def lookup(self, org_size: int, pe_target: float) -> int:
+        """Resolve an organization size to a TTL.
+
+        Uses the smallest tabulated n that upper-bounds ``org_size`` (the
+        paper's "lowest upper bound" rule); the pe target must be one of
+        the tabulated targets.
+        """
+        if pe_target not in self.pe_targets:
+            raise KeyError(f"pe target {pe_target} not tabulated")
+        for n in self.sizes:
+            if n >= org_size:
+                return self._table[(n, pe_target)]
+        raise ValueError(
+            f"organization size {org_size} exceeds the largest tabulated n={self.sizes[-1]}"
+        )
+
+    def rows(self) -> List[Tuple[int, Dict[float, int]]]:
+        """Table contents for display: (n, {pe: TTL})."""
+        return [
+            (n, {pe: self._table[(n, pe)] for pe in self.pe_targets})
+            for n in self.sizes
+        ]

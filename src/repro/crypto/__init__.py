@@ -1,0 +1,24 @@
+"""Crypto substrate: hashing, MSP identities, simulated signatures.
+
+Fabric relies on a membership service provider (MSP) to certify node
+identities, on SHA-256 hash chaining to link blocks, and on signatures over
+endorsements and blocks. We implement real SHA-256 hashing (cheap and exact)
+and a structurally faithful — but computationally simulated — signature
+scheme: signatures are deterministic MACs binding (signer identity, payload
+digest) so that verification checks the same properties Fabric checks,
+without pulling in a heavyweight asymmetric crypto dependency.
+"""
+
+from repro.crypto.hashing import hash_bytes, hash_fields
+from repro.crypto.identity import Identity, MembershipServiceProvider
+from repro.crypto.signature import Signature, sign, verify
+
+__all__ = [
+    "Identity",
+    "MembershipServiceProvider",
+    "Signature",
+    "hash_bytes",
+    "hash_fields",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,47 @@
+"""Simulated signatures.
+
+A signature here is a deterministic MAC binding the signer's derived key to
+the payload digest. This preserves the two checks Fabric's validation makes:
+(1) the signature verifies against the claimed identity, and (2) tampering
+with the payload breaks verification. It is *not* cryptographically secure
+(no asymmetry), which is irrelevant for performance reproduction and keeps
+the simulation dependency-free and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import hash_fields
+from repro.crypto.identity import Identity
+
+SIGNATURE_SIZE_BYTES = 72  # typical ECDSA-P256 DER signature size
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over a payload digest by a named identity."""
+
+    signer: str
+    digest: str
+    mac: str
+
+    @property
+    def size_bytes(self) -> int:
+        return SIGNATURE_SIZE_BYTES
+
+
+def sign(identity: Identity, payload_digest: str) -> Signature:
+    """Sign a payload digest with the identity's derived key."""
+    mac = hash_fields("mac", identity.signing_key, payload_digest)
+    return Signature(signer=identity.name, digest=payload_digest, mac=mac)
+
+
+def verify(identity: Identity, payload_digest: str, signature: Signature) -> bool:
+    """Check a signature: correct signer, correct digest, valid MAC."""
+    if signature.signer != identity.name:
+        return False
+    if signature.digest != payload_digest:
+        return False
+    expected = hash_fields("mac", identity.signing_key, payload_digest)
+    return signature.mac == expected

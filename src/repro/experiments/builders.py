@@ -1,0 +1,203 @@
+"""Assembly of a complete simulated Fabric network.
+
+``build_network`` wires everything the paper's testbed had: an MSP, the
+ordering service, one or more organizations of peers with per-org leaders,
+a pluggable gossip module per peer, calibrated background traffic and the
+measurement trackers. Experiments and tests build on this single entry
+point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.crypto.identity import MembershipServiceProvider
+from repro.fabric.config import OrdererConfig, PeerConfig
+from repro.fabric.endorsement import EndorsementPolicy
+from repro.fabric.orderer import OrderingService
+from repro.fabric.peer import Peer
+from repro.gossip.config import (
+    BackgroundTrafficConfig,
+    EnhancedGossipConfig,
+    OriginalGossipConfig,
+)
+from repro.gossip.enhanced import EnhancedGossip
+from repro.gossip.original import OriginalGossip
+from repro.gossip.view import build_views
+from repro.metrics.conflicts import ConflictTracker
+from repro.metrics.latency import DisseminationTracker
+from repro.net.network import Network, NetworkConfig
+from repro.simulation.engine import Simulator
+from repro.simulation.random import RandomStreams
+
+GossipChoice = Union[OriginalGossipConfig, EnhancedGossipConfig]
+
+
+def gossip_factory(choice: GossipChoice) -> Callable:
+    """A ``(peer, view) -> GossipModule`` factory for the given config."""
+    if isinstance(choice, OriginalGossipConfig):
+        return lambda peer, view: OriginalGossip(peer, view, choice)
+    if isinstance(choice, EnhancedGossipConfig):
+        return lambda peer, view: EnhancedGossip(peer, view, choice)
+    raise TypeError(f"unknown gossip configuration: {type(choice).__name__}")
+
+
+@dataclass
+class FabricNetwork:
+    """A fully wired simulated deployment."""
+
+    sim: Simulator
+    streams: RandomStreams
+    network: Network
+    msp: MembershipServiceProvider
+    orderer: OrderingService
+    peers: Dict[str, Peer]
+    org_members: Dict[str, List[str]]
+    leaders: Dict[str, str]
+    tracker: DisseminationTracker
+    conflicts: ConflictTracker
+    gossip_choice: GossipChoice
+
+    @property
+    def peer_names(self) -> List[str]:
+        return sorted(self.peers)
+
+    @property
+    def n_peers(self) -> int:
+        return len(self.peers)
+
+    def leader_of(self, org: str) -> Peer:
+        return self.peers[self.leaders[org]]
+
+    def regular_peers(self, org: Optional[str] = None) -> List[str]:
+        """Non-leader peer names (optionally of one organization)."""
+        leaders = set(self.leaders.values())
+        names = []
+        for organization, members in self.org_members.items():
+            if org is not None and organization != org:
+                continue
+            names.extend(name for name in members if name not in leaders)
+        return sorted(names)
+
+    def start(self) -> None:
+        """Arm every peer's gossip and background timers."""
+        for peer in self.peers.values():
+            peer.start()
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        step: float = 1.0,
+        max_time: float = 100_000.0,
+    ) -> float:
+        """Advance the simulation until ``predicate()`` holds.
+
+        Periodic gossip timers never drain the event queue, so open-ended
+        experiments advance in ``step`` increments and test a completion
+        predicate between steps.
+        """
+        while not predicate():
+            if self.sim.now >= max_time:
+                raise TimeoutError(f"predicate still false at t={self.sim.now}")
+            self.sim.run(until=min(self.sim.now + step, max_time))
+        return self.sim.now
+
+    def all_peers_at_height(self, height: int) -> bool:
+        return all(peer.ledger_height >= height for peer in self.peers.values())
+
+    def all_peers_received(self, block_count: int) -> bool:
+        """Every peer holds every block below ``block_count`` (no gaps)."""
+        for peer in self.peers.values():
+            chain = peer.blockchain
+            if chain.max_known_number() < block_count - 1:
+                return False
+            if chain.missing_ranges(block_count):
+                return False
+        return True
+
+
+def build_network(
+    n_peers: int,
+    gossip: GossipChoice,
+    seed: int = 1,
+    organizations: int = 1,
+    network_config: Optional[NetworkConfig] = None,
+    peer_config: Optional[PeerConfig] = None,
+    orderer_config: Optional[OrdererConfig] = None,
+    background: Optional[BackgroundTrafficConfig] = None,
+    policy: Optional[EndorsementPolicy] = None,
+) -> FabricNetwork:
+    """Build the deployment of the paper's §V-A (defaults: one org).
+
+    Args:
+        n_peers: total number of peers, split evenly across organizations.
+        gossip: an :class:`OriginalGossipConfig` or
+            :class:`EnhancedGossipConfig`; applied to every peer.
+        seed: master seed for all random streams.
+        organizations: number of organizations; each gets a leader (its
+            first peer) to which the orderer sends every block.
+    """
+    if n_peers < 2:
+        raise ValueError("need at least 2 peers")
+    if organizations < 1 or organizations > n_peers:
+        raise ValueError("invalid organization count")
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    network = Network(sim, streams, network_config)
+    msp = MembershipServiceProvider()
+    tracker = DisseminationTracker()
+    conflicts = ConflictTracker()
+
+    org_members: Dict[str, List[str]] = {}
+    for index in range(n_peers):
+        org = f"org{index % organizations}"
+        org_members.setdefault(org, []).append(f"peer-{index}")
+    leaders = {org: members[0] for org, members in org_members.items()}
+    views = build_views(org_members, leaders)
+
+    factory = gossip_factory(gossip)
+    peers: Dict[str, Peer] = {}
+    for org, members in org_members.items():
+        for name in members:
+            identity = msp.enroll(name, org, "peer")
+            peer = Peer(
+                sim,
+                network,
+                streams,
+                identity,
+                views[name],
+                config=peer_config,
+                policy=policy,
+                tracker=tracker,
+                conflicts=conflicts,
+            )
+            peer.attach_gossip(factory)
+            if background is not None:
+                peer.attach_background(background)
+            peers[name] = peer
+
+    msp.enroll("orderer", "ordering-org", "orderer")
+    orderer = OrderingService(
+        sim,
+        network,
+        streams,
+        name="orderer",
+        config=orderer_config,
+        org_leaders=leaders,
+        tracker=tracker,
+    )
+
+    return FabricNetwork(
+        sim=sim,
+        streams=streams,
+        network=network,
+        msp=msp,
+        orderer=orderer,
+        peers=peers,
+        org_members=org_members,
+        leaders=leaders,
+        tracker=tracker,
+        conflicts=conflicts,
+        gossip_choice=gossip,
+    )

@@ -1,0 +1,158 @@
+"""Command-line interface to the experiment harness.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli figure fig7 [--full] [--seed 3]
+    python -m repro.experiments.cli table2 [--full] [--repetitions 5]
+    python -m repro.experiments.cli analysis
+    python -m repro.experiments.cli scaling --sizes 25 50 100
+
+Each command prints the same rows/series the paper reports for the
+corresponding figure or table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import (
+    BANDWIDTH_FIGURES,
+    FIGURE_CONFIGS,
+    LATENCY_FIGURES,
+    run_figure,
+)
+from repro.experiments.scaling import render_scaling_study, run_scaling_study
+from repro.experiments.tables import render_table2, run_table2
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("latency figures  :", ", ".join(LATENCY_FIGURES))
+    print("bandwidth figures:", ", ".join(BANDWIDTH_FIGURES))
+    print("tables           : table2")
+    print("other            : analysis, scaling")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.figure_id not in FIGURE_CONFIGS:
+        print(f"unknown figure {args.figure_id!r}; try 'list'", file=sys.stderr)
+        return 2
+    figure, result = run_figure(args.figure_id, full=args.full, seed=args.seed)
+    if args.figure_id in LATENCY_FIGURES:
+        from repro.metrics.latency import percentile
+        from repro.metrics.probability_plot import PAPER_Y_TICKS
+        from repro.metrics.report import format_table
+
+        ticks = [p for p in PAPER_Y_TICKS if 0.01 <= p <= 0.9999]
+        headers = ["fraction"] + list(figure.curves)
+        rows = []
+        for tick in ticks:
+            row: List[object] = [f"{tick:g}"]
+            for label in figure.curves:
+                samples = sorted(point.latency for point in figure.curves[label])
+                row.append(percentile(samples, tick))
+            rows.append(row)
+        print(format_table(headers, rows, title=f"{args.figure_id}: latency (s) at CDF fractions"))
+    else:
+        print(f"{args.figure_id}: {figure.interval:.0f}-second aggregated utilization (MB/s)")
+        print(f"leader  (avg {figure.leader_average:.2f}):",
+              " ".join(f"{v:.2f}" for v in figure.leader_series))
+        print(f"regular (avg {figure.regular_average:.2f}):",
+              " ".join(f"{v:.2f}" for v in figure.regular_series))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = run_table2(repetitions=args.repetitions, full=args.full, base_seed=args.seed)
+    print(render_table2(rows))
+    return 0
+
+
+def _cmd_analysis(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        carrying_capacity,
+        imperfect_dissemination_probability,
+        infect_and_die_distribution,
+        ttl_for_target,
+    )
+
+    exact = infect_and_die_distribution(100, 3)
+    print("infect-and-die @ n=100, fout=3: "
+          f"mean {exact.mean_infected:.2f}, std {exact.std_infected:.2f}, "
+          f"transmissions {exact.mean_transmissions:.1f} (paper: 94 / 2.6 / 282)")
+    print(f"gamma(n=100, fout=4) = {carrying_capacity(100, 4):.2f}")
+    for fout, ttl, target in ((4, 9, 1e-6), (2, 19, 1e-6), (4, 12, 1e-12)):
+        pe = imperfect_dissemination_probability(100, fout, ttl)
+        print(f"fout={fout}, TTL={ttl}: pe <= {pe:.2e} "
+              f"(minimal TTL for {target:g}: {ttl_for_target(100, fout, target)})")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    points = run_scaling_study(sizes=tuple(args.sizes), blocks=args.blocks, seed=args.seed)
+    print(render_scaling_study(points))
+    return 0
+
+
+def _cmd_streamchain(args: argparse.Namespace) -> int:
+    from repro.experiments.streamchain import render_streamchain_study, run_streamchain_study
+
+    results = run_streamchain_study(
+        n_peers=args.peers, transactions=args.transactions, seed=args.seed
+    )
+    print(render_streamchain_study(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the figures and tables of 'Fair and Efficient "
+                    "Gossip in Hyperledger Fabric' (ICDCS 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
+
+    figure = sub.add_parser("figure", help="reproduce one figure (fig4..fig14)")
+    figure.add_argument("figure_id")
+    figure.add_argument("--full", action="store_true", help="paper-scale run")
+    figure.add_argument("--seed", type=int, default=1)
+    figure.set_defaults(func=_cmd_figure)
+
+    table2 = sub.add_parser("table2", help="reproduce Table II")
+    table2.add_argument("--full", action="store_true")
+    table2.add_argument("--repetitions", type=int, default=3)
+    table2.add_argument("--seed", type=int, default=1)
+    table2.set_defaults(func=_cmd_table2)
+
+    analysis = sub.add_parser("analysis", help="print the §IV/appendix numbers")
+    analysis.set_defaults(func=_cmd_analysis)
+
+    scaling = sub.add_parser("scaling", help="organization-size sweep")
+    scaling.add_argument("--sizes", type=int, nargs="+", default=[25, 50, 100])
+    scaling.add_argument("--blocks", type=int, default=10)
+    scaling.add_argument("--seed", type=int, default=1)
+    scaling.set_defaults(func=_cmd_scaling)
+
+    streamchain = sub.add_parser(
+        "streamchain", help="§VII StreamChain study: stream vs block ordering"
+    )
+    streamchain.add_argument("--peers", type=int, default=50)
+    streamchain.add_argument("--transactions", type=int, default=150)
+    streamchain.add_argument("--seed", type=int, default=1)
+    streamchain.set_defaults(func=_cmd_streamchain)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Scaling study: how dissemination behaves as the organization grows.
+
+The paper argues (§VII) that "the good properties of epidemic algorithms
+shine as the number of peers increases due to the law of large numbers",
+and §IV that TTL "varies slowly with n". This experiment sweeps the
+organization size, configures each run with the TTL the lookup table
+prescribes for the target pe, and reports latency, full-block transmissions
+per block (should stay ~n + o(n)) and the analytic pe alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.pe import imperfect_dissemination_probability, ttl_for_target
+from repro.experiments.dissemination import DisseminationConfig, run_dissemination
+from repro.gossip.config import EnhancedGossipConfig
+from repro.metrics.probability_plot import tail_latency
+from repro.metrics.report import format_table
+
+
+@dataclass
+class ScalingPoint:
+    """One network size in the sweep."""
+
+    n_peers: int
+    ttl: int
+    pe_bound: float
+    median_latency: float
+    p99_latency: float
+    worst_latency: float
+    block_pushes_per_block: float
+    digests_per_block: float
+
+    @property
+    def pushes_per_peer(self) -> float:
+        """Full-block transmissions per peer per block; ~1 when n + o(n)."""
+        return self.block_pushes_per_block / self.n_peers
+
+
+def run_scaling_study(
+    sizes: Sequence[int] = (25, 50, 100, 200),
+    fout: int = 4,
+    pe_target: float = 1e-6,
+    blocks: int = 10,
+    seed: int = 1,
+) -> List[ScalingPoint]:
+    """Sweep organization sizes with per-size TTL from the analysis."""
+    points = []
+    for n in sizes:
+        ttl = ttl_for_target(n, fout, pe_target)
+        gossip = EnhancedGossipConfig(fout=fout, ttl=ttl, ttl_direct=2)
+        config = DisseminationConfig(
+            gossip=gossip,
+            n_peers=n,
+            blocks=blocks,
+            block_period=1.5,
+            seed=seed,
+        )
+        result = run_dissemination(config)
+        latencies = result.tracker.all_latencies()
+        counts = result.bandwidth_report().message_counts()
+        points.append(
+            ScalingPoint(
+                n_peers=n,
+                ttl=ttl,
+                pe_bound=imperfect_dissemination_probability(n, fout, ttl),
+                median_latency=tail_latency(latencies, 0.5),
+                p99_latency=tail_latency(latencies, 0.99),
+                worst_latency=max(latencies),
+                block_pushes_per_block=counts.get("BlockPush", 0) / blocks,
+                digests_per_block=counts.get("PushDigest", 0) / blocks,
+            )
+        )
+    return points
+
+
+def render_scaling_study(points: List[ScalingPoint]) -> str:
+    return format_table(
+        ["n", "TTL", "pe bound", "median (s)", "p99 (s)", "worst (s)",
+         "blocks/blk", "blocks/blk/peer", "digests/blk"],
+        [
+            [
+                point.n_peers,
+                point.ttl,
+                f"{point.pe_bound:.1e}",
+                point.median_latency,
+                point.p99_latency,
+                point.worst_latency,
+                f"{point.block_pushes_per_block:.0f}",
+                point.pushes_per_peer,
+                f"{point.digests_per_block:.0f}",
+            ]
+            for point in points
+        ],
+        title="Scaling study: enhanced gossip with table-driven TTL",
+    )

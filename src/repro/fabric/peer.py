@@ -1,0 +1,234 @@
+"""The Fabric peer.
+
+A peer maintains a full copy of the ledger, participates in gossip (as
+leader or regular peer), validates blocks strictly in order (head-of-line:
+a missing block stalls everything behind it) and, when configured as an
+endorser, simulates chaincodes for clients. The peer implements the
+:class:`~repro.gossip.base.GossipHost` protocol, so both gossip modules
+plug in unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.crypto.identity import Identity
+from repro.fabric.chaincode import ChaincodeRegistry
+from repro.fabric.config import PeerConfig, ValidationMode
+from repro.fabric.endorsement import EndorsementPolicy
+from repro.fabric.messages import EndorsementRequest, EndorsementResponse, OrdererBlock
+from repro.fabric.validation import validate_block
+from repro.gossip.background import BackgroundTraffic
+from repro.gossip.base import GossipModule
+from repro.gossip.config import BackgroundTrafficConfig
+from repro.gossip.leader_election import LeaderElection, LeaderRegistry, LeadershipHeartbeat
+from repro.gossip.messages import MembershipAlive
+from repro.gossip.view import OrganizationView
+from repro.ledger.block import Block
+from repro.ledger.chain import Blockchain
+from repro.ledger.kvstore import KeyValueStore
+from repro.ledger.transaction import Endorsement
+from repro.metrics.conflicts import ConflictTracker
+from repro.metrics.latency import DisseminationTracker
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.simulation.process import Process
+from repro.simulation.random import RandomStreams
+
+
+class Peer(Process):
+    """One Fabric peer (possibly the org leader and/or an endorser)."""
+
+    def __init__(
+        self,
+        sim,
+        network: Network,
+        streams: RandomStreams,
+        identity: Identity,
+        view: OrganizationView,
+        config: Optional[PeerConfig] = None,
+        policy: Optional[EndorsementPolicy] = None,
+        tracker: Optional[DisseminationTracker] = None,
+        conflicts: Optional[ConflictTracker] = None,
+    ) -> None:
+        super().__init__(sim, identity.name, streams)
+        self.identity = identity
+        self.network = network
+        self.view = view
+        self.config = config or PeerConfig()
+        self.policy = policy or EndorsementPolicy.any_single()
+        self.tracker = tracker
+        self.conflicts = conflicts
+        self.blockchain = Blockchain()
+        self.state = KeyValueStore()
+        self.chaincodes = ChaincodeRegistry()
+        self.gossip: Optional[GossipModule] = None
+        self.background: Optional[BackgroundTraffic] = None
+        self.election: Optional[LeaderElection] = None
+        self._validating = False
+        self.blocks_received_via = {"orderer": 0, "push": 0, "pull": 0, "recovery": 0}
+        network.register(self.name, self._on_message)
+
+    # ----- wiring ----------------------------------------------------------
+
+    def attach_gossip(self, factory: Callable[["Peer", OrganizationView], GossipModule]) -> None:
+        """Install a gossip module built by ``factory(self, view)``."""
+        if self.gossip is not None:
+            raise RuntimeError(f"{self.name} already has a gossip module")
+        self.gossip = factory(self, self.view)
+
+    def attach_background(self, config: BackgroundTrafficConfig) -> None:
+        self.background = BackgroundTraffic(self, self.view, config)
+
+    def attach_leader_election(
+        self,
+        registry: LeaderRegistry,
+        heartbeat_period: float = 1.0,
+        election_timeout: float = 3.0,
+    ) -> None:
+        """Enable dynamic leader election (Fabric's dynamic-leader mode).
+
+        Without this, the peer uses the static leader from its view.
+        """
+        self.election = LeaderElection(
+            self,
+            self.view,
+            org=self.identity.organization,
+            registry=registry,
+            heartbeat_period=heartbeat_period,
+            election_timeout=election_timeout,
+        )
+
+    def start(self) -> None:
+        """Arm gossip timers, background traffic and leader election."""
+        if self.gossip is None:
+            raise RuntimeError(f"{self.name} has no gossip module attached")
+        self.gossip.start()
+        if self.background is not None:
+            self.background.start()
+        if self.election is not None:
+            self.election.start()
+
+    @property
+    def is_leader(self) -> bool:
+        """Current leadership: dynamic when an election is attached."""
+        if self.election is not None:
+            return self.election.is_leader
+        return self.view.is_leader
+
+    # ----- GossipHost protocol ---------------------------------------------
+
+    def send(self, dst: str, message: Message) -> None:
+        if self._alive:
+            self.network.send(self.name, dst, message)
+
+    def deliver_block(self, block: Block, via: str) -> bool:
+        """First point of contact of a block with the ledger layer."""
+        is_new = self.blockchain.receive(block)
+        if not is_new:
+            return False
+        self.blocks_received_via[via] = self.blocks_received_via.get(via, 0) + 1
+        if self.tracker is not None:
+            if self.is_leader and via == "orderer":
+                self.tracker.leader_received(block.number, self.now)
+            self.tracker.first_reception(self.name, block.number, self.now)
+        self._pump_validation()
+        return True
+
+    def get_block(self, number: int) -> Optional[Block]:
+        return self.blockchain.get_any(number)
+
+    @property
+    def ledger_height(self) -> int:
+        return self.blockchain.height
+
+    def known_block_numbers(self, window: int) -> List[int]:
+        return self.blockchain.known_numbers(window)
+
+    # ----- message dispatch --------------------------------------------------
+
+    def _on_message(self, src: str, message: Message) -> None:
+        if not self._alive:
+            return
+        if isinstance(message, MembershipAlive):
+            return  # background bytes: accounted by the monitor, no logic
+        if isinstance(message, LeadershipHeartbeat):
+            if self.election is not None:
+                self.election.on_heartbeat(src, message)
+            return
+        if self.gossip is not None and self.gossip.handle(src, message):
+            return
+        if isinstance(message, OrdererBlock):
+            self._on_orderer_block(message.block)
+            return
+        if isinstance(message, EndorsementRequest):
+            self._on_endorsement_request(src, message)
+            return
+
+    def _on_orderer_block(self, block: Block) -> None:
+        if not self.is_leader:
+            # Defensive: only leaders receive orderer blocks by construction.
+            self.deliver_block(block, via="orderer")
+            return
+        assert self.gossip is not None
+        self.gossip.on_block_from_orderer(block)
+
+    # ----- endorsement ------------------------------------------------------
+
+    def _on_endorsement_request(self, src: str, request: EndorsementRequest) -> None:
+        self.after(self.config.endorsement_delay, self._endorse, src, request)
+
+    def _endorse(self, src: str, request: EndorsementRequest) -> None:
+        chaincode = self.chaincodes.get(request.chaincode_id)
+        if chaincode is None:
+            return  # unknown chaincode: no endorsement (client will time out)
+        rwset = chaincode.simulate(self.state, request.args)
+        endorsement = Endorsement.create(self.identity, rwset)
+        self.send(src, EndorsementResponse(request.request_id, rwset, endorsement))
+
+    # ----- validation pipeline ------------------------------------------------
+
+    def _pump_validation(self) -> None:
+        """Start validating the next in-sequence block, if idle.
+
+        Blocks commit strictly in order; a missing block number stalls the
+        pipeline until gossip (or recovery) fills the gap.
+        """
+        if self._validating:
+            return
+        block = self.blockchain.peek_ready()
+        if block is None:
+            return
+        self._validating = True
+        delay = self.config.per_tx_validation_time * block.tx_count
+        self.after(delay, self._commit, block)
+
+    def _commit(self, block: Block) -> None:
+        if self.config.validation_mode is ValidationMode.FULL:
+            result = validate_block(block, self.state, self.policy)
+            if self.conflicts is not None:
+                self.conflicts.record_block_validation(self.name, result)
+        self.blockchain.commit(block)
+        if self.tracker is not None:
+            self.tracker.committed(self.name, block.number, self.now)
+        self._validating = False
+        self._pump_validation()
+
+    # ----- faults -------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the peer: stop timers, drop in-flight work, disconnect."""
+        self.shutdown()
+        self.network.set_disconnected(self.name, True)
+        self._validating = False
+
+    def recover(self) -> None:
+        """Reconnect after a crash; recovery gossip will catch the ledger up."""
+        self.restart()
+        self.network.set_disconnected(self.name, False)
+        if self.gossip is not None:
+            self.gossip._started = False
+            self.gossip.start()
+        if self.background is not None:
+            self.background.start()
+        self._pump_validation()

@@ -1,0 +1,76 @@
+"""Block validation: endorsement policy + MVCC read-set checks.
+
+Validation runs at every peer, sequentially over the transactions of each
+block, against the world state *as updated by earlier valid transactions of
+the same block* — Fabric's earliest-writer-wins semantics (paper §II-C):
+of two conflicting proposals in the same block, the first is VALID and its
+writes applied; the second fails the MVCC check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.fabric.endorsement import EndorsementPolicy
+from repro.ledger.block import Block
+from repro.ledger.kvstore import KeyValueStore, Version
+from repro.ledger.transaction import TransactionProposal, ValidationCode
+
+
+@dataclass
+class BlockValidationResult:
+    """Per-transaction outcomes of validating one block."""
+
+    block_number: int
+    codes: List[ValidationCode] = field(default_factory=list)
+
+    @property
+    def valid_count(self) -> int:
+        return sum(1 for code in self.codes if code.is_valid)
+
+    @property
+    def invalid_count(self) -> int:
+        return len(self.codes) - self.valid_count
+
+    def counts_by_code(self) -> Dict[ValidationCode, int]:
+        counts: Dict[ValidationCode, int] = {}
+        for code in self.codes:
+            counts[code] = counts.get(code, 0) + 1
+        return counts
+
+
+def validate_transaction(
+    proposal: TransactionProposal,
+    store: KeyValueStore,
+    policy: EndorsementPolicy,
+) -> ValidationCode:
+    """Validate a single proposal against the current state."""
+    if not proposal.endorsements:
+        return ValidationCode.BAD_PROPOSAL
+    if not policy.validate_proposal(proposal):
+        return ValidationCode.ENDORSEMENT_POLICY_FAILURE
+    if proposal.rwset.conflicts_with_state(store.get_version):
+        return ValidationCode.MVCC_READ_CONFLICT
+    return ValidationCode.VALID
+
+
+def validate_block(
+    block: Block,
+    store: KeyValueStore,
+    policy: EndorsementPolicy,
+) -> BlockValidationResult:
+    """Validate a block and apply the writes of its valid transactions.
+
+    Transactions are processed in block order; each valid transaction's
+    writes become visible to the MVCC checks of the transactions after it,
+    within the block and beyond.
+    """
+    result = BlockValidationResult(block_number=block.number)
+    for tx_index, proposal in enumerate(block.transactions):
+        code = validate_transaction(proposal, store, policy)
+        result.codes.append(code)
+        if code.is_valid:
+            version = Version(block_number=block.number, tx_index=tx_index)
+            store.apply_writes(proposal.rwset.writes, version)
+    return result

@@ -1,0 +1,22 @@
+"""Fault injection: crashes, silent (adversarial) peers, packet loss.
+
+The paper keeps adversarial peers for future work (§VII) but relies on the
+recovery component for crash/outage resilience (§III-A). This package
+exercises both: scheduled crash/recover of peers (recovery catch-up), peers
+that silently refuse to forward gossip (the §VII adversarial model), and
+random packet loss.
+"""
+
+from repro.faults.injectors import (
+    CrashSchedule,
+    PacketLossFault,
+    SilentPeerFault,
+    TeasingPeerFault,
+)
+
+__all__ = [
+    "CrashSchedule",
+    "PacketLossFault",
+    "SilentPeerFault",
+    "TeasingPeerFault",
+]

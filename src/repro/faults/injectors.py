@@ -1,0 +1,131 @@
+"""Concrete fault injectors over the network and peers."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+from repro.gossip.messages import BlockPush, PushDigest
+from repro.net.message import Message
+from repro.net.network import Network
+
+
+@dataclass
+class CrashSchedule:
+    """Crash a peer at ``crash_at`` and recover it at ``recover_at``.
+
+    Usage::
+
+        CrashSchedule(peer, crash_at=30.0, recover_at=90.0).arm(sim)
+
+    After recovery the peer's ledger is behind; the recovery (anti-entropy)
+    component fetches the missing blocks in batches.
+    """
+
+    peer: object  # repro.fabric.peer.Peer; duck-typed to avoid the import cycle
+    crash_at: float
+    recover_at: Optional[float] = None
+
+    def arm(self, sim) -> None:
+        if self.recover_at is not None and self.recover_at <= self.crash_at:
+            raise ValueError("recover_at must be after crash_at")
+        sim.schedule_at(self.crash_at, self.peer.crash)
+        if self.recover_at is not None:
+            sim.schedule_at(self.recover_at, self.peer.recover)
+
+
+class _ComposableDropFilter:
+    """Chains several drop predicates on one network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._predicates: List[Callable[[str, str, Message], bool]] = []
+        network.set_drop_filter(self)
+
+    def add(self, predicate: Callable[[str, str, Message], bool]) -> None:
+        self._predicates.append(predicate)
+
+    def __call__(self, src: str, dst: str, message: Message) -> bool:
+        return any(predicate(src, dst, message) for predicate in self._predicates)
+
+
+def _drop_filter_for(network: Network) -> _ComposableDropFilter:
+    existing = getattr(network, "_drop_filter", None)
+    if isinstance(existing, _ComposableDropFilter):
+        return existing
+    composable = _ComposableDropFilter(network)
+    if existing is not None:
+        composable.add(existing)
+    return composable
+
+
+class SilentPeerFault:
+    """Free-riding peers: they take blocks but contribute nothing.
+
+    Models the mildest §VII adversary: the peers drop all *outgoing*
+    dissemination work — push digests and unsolicited block forwards — but
+    still fetch blocks for themselves (their own ``PushRequest`` traffic
+    passes: an adversary wants the ledger too) and, never having
+    advertised anything, are never asked to serve. The epidemic merely
+    loses their forwarding capacity.
+
+    Pull/recovery serving is left intact: this adversary avoids detection.
+    """
+
+    def __init__(self, network: Network, silent_peers: Iterable[str]) -> None:
+        self.silent: Set[str] = set(silent_peers)
+        self.dropped = 0
+        _drop_filter_for(network).add(self._predicate)
+
+    def _predicate(self, src: str, dst: str, message: Message) -> bool:
+        if src not in self.silent:
+            return False
+        is_forward_work = isinstance(message, PushDigest) or (
+            isinstance(message, BlockPush) and not message.requested
+        )
+        if is_forward_work:
+            self.dropped += 1
+            return True
+        return False
+
+
+class TeasingPeerFault:
+    """Withholding peers that advertise and then stonewall.
+
+    The nastiest §VII adversary against the enhanced module: it forwards
+    push *digests* normally (so it looks like a well-behaved peer and
+    attracts requests) but never delivers a requested block. An honest
+    peer whose single in-flight request landed on a teaser stalls until
+    the request-retry timeout or the recovery component rescues it —
+    quantifying the countermeasure gap the paper calls out as future work.
+    """
+
+    def __init__(self, network: Network, teasing_peers: Iterable[str]) -> None:
+        self.teasing: Set[str] = set(teasing_peers)
+        self.dropped = 0
+        _drop_filter_for(network).add(self._predicate)
+
+    def _predicate(self, src: str, dst: str, message: Message) -> bool:
+        if src in self.teasing and isinstance(message, BlockPush):
+            self.dropped += 1
+            return True
+        return False
+
+
+class PacketLossFault:
+    """Uniform random message loss at a configured rate."""
+
+    def __init__(self, network: Network, loss_rate: float, rng: random.Random) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {loss_rate}")
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self.dropped = 0
+        _drop_filter_for(network).add(self._predicate)
+
+    def _predicate(self, src: str, dst: str, message: Message) -> bool:
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return True
+        return False

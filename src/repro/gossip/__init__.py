@@ -1,0 +1,32 @@
+"""Gossip dissemination layer: the paper's subject and contribution.
+
+Two complete, pluggable gossip modules are provided:
+
+* :class:`repro.gossip.original.OriginalGossip` — Fabric v1.2's module:
+  infect-and-die push with a ``t_push`` buffer, periodic pull, and
+  recovery (anti-entropy), with the paper's default parameters.
+* :class:`repro.gossip.enhanced.EnhancedGossip` — the paper's contribution:
+  infect-upon-contagion push with per-block TTL counters, push digests
+  above ``TTL_direct``, a randomized initial gossiper
+  (``f_leader_out = 1``), no pull, recovery retained.
+
+Both are built from shared components (:mod:`repro.gossip.pull`,
+:mod:`repro.gossip.recovery`, :mod:`repro.gossip.push_infect_die`,
+:mod:`repro.gossip.push_infect_contagion`) over typed messages
+(:mod:`repro.gossip.messages`).
+"""
+
+from repro.gossip.base import GossipModule
+from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
+from repro.gossip.enhanced import EnhancedGossip
+from repro.gossip.original import OriginalGossip
+from repro.gossip.view import OrganizationView
+
+__all__ = [
+    "EnhancedGossip",
+    "EnhancedGossipConfig",
+    "GossipModule",
+    "OrganizationView",
+    "OriginalGossip",
+    "OriginalGossipConfig",
+]

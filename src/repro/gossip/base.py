@@ -1,0 +1,94 @@
+"""Gossip module interface and host protocol.
+
+A gossip module is plugged into a peer (its *host*). The host supplies
+identity, networking, timers, RNG streams, and the ledger-facing operations
+(deliver / serve blocks); the module implements the dissemination policy.
+This mirrors Fabric's layering, where the gossip component is a separate
+package from the ledger and validation machinery, and is what lets the
+experiments swap the original module for the enhanced one with one config
+switch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Protocol
+
+from repro.ledger.block import Block
+from repro.net.message import Message
+from repro.gossip.view import OrganizationView
+
+
+class GossipHost(Protocol):
+    """What a gossip module needs from its hosting peer."""
+
+    name: str
+
+    @property
+    def now(self) -> float: ...
+
+    def send(self, dst: str, message: Message) -> None:
+        """Send a gossip message to another peer."""
+
+    def rng(self, purpose: str) -> random.Random:
+        """Deterministic RNG stream scoped to the host and purpose."""
+
+    def after(self, delay: float, callback: Callable, *args) -> object:
+        """One-shot timer."""
+
+    def every(self, period: float, callback: Callable[[], None], **kwargs) -> object:
+        """Periodic timer."""
+
+    def deliver_block(self, block: Block, via: str) -> bool:
+        """Hand a received full block to the ledger layer.
+
+        Returns True if the block was previously unknown to this peer
+        (first reception), False for duplicates.
+        """
+
+    def get_block(self, number: int) -> Optional[Block]:
+        """A block this peer holds (committed or buffered), for serving."""
+
+    @property
+    def ledger_height(self) -> int:
+        """Committed chain height."""
+
+    def known_block_numbers(self, window: int) -> List[int]:
+        """Recent block numbers this peer holds (pull digest contents)."""
+
+
+class GossipModule:
+    """Base class for the original and enhanced gossip modules."""
+
+    def __init__(self, host: GossipHost, view: OrganizationView) -> None:
+        self.host = host
+        self.view = view
+        self._started = False
+
+    def start(self) -> None:
+        """Arm periodic components. Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self._start_components()
+
+    def _start_components(self) -> None:
+        raise NotImplementedError
+
+    def on_block_from_orderer(self, block: Block) -> None:
+        """Entry point on the leader peer for blocks from the ordering
+        service."""
+        raise NotImplementedError
+
+    def handle(self, src: str, message: Message) -> bool:
+        """Process an incoming gossip message.
+
+        Returns True if the message type was recognized and consumed.
+        """
+        raise NotImplementedError
+
+    # ----- helpers shared by both modules ------------------------------
+
+    def _deliver(self, block: Block, via: str) -> bool:
+        """Deliver to the host ledger; returns first-reception flag."""
+        return self.host.deliver_block(block, via)

@@ -1,0 +1,101 @@
+"""The paper's enhanced gossip module.
+
+Combines the four enhancements of Table I:
+
+1. infect-upon-contagion push with TTL counters;
+2. push digests beyond ``ttl_direct``;
+3. randomized initial gossiper: the leader forwards each block, in full and
+   with counter 0, to ``leader_fanout`` (default 1) random peers — on
+   expectation this spreads the initiation of gossip uniformly over the
+   other ``n - 1`` peers and removes the leader's ``fout``× bandwidth
+   burden;
+4. no pull component; recovery is retained unchanged as the safety net.
+"""
+
+from __future__ import annotations
+
+from repro.gossip.base import GossipModule
+from repro.gossip.config import EnhancedGossipConfig
+from repro.gossip.messages import (
+    BlockPush,
+    PushDigest,
+    PushRequest,
+    RecoveryRequest,
+    RecoveryResponse,
+    StateInfo,
+)
+from repro.gossip.push_infect_contagion import InfectUponContagionPush
+from repro.gossip.recovery import RecoveryComponent
+from repro.gossip.view import OrganizationView
+from repro.ledger.block import Block
+from repro.net.message import Message
+
+
+class EnhancedGossip(GossipModule):
+    """Enhanced dissemination (paper §IV)."""
+
+    def __init__(self, host, view: OrganizationView, config: EnhancedGossipConfig) -> None:
+        super().__init__(host, view)
+        self.config = config
+        self.push = InfectUponContagionPush(
+            host,
+            view,
+            fout=config.fout,
+            ttl=config.ttl,
+            ttl_direct=config.ttl_direct,
+            use_digests=config.use_digests,
+            t_push=config.t_push,
+        )
+        self.recovery = RecoveryComponent(
+            host,
+            view,
+            t_recovery=config.recovery.t_recovery,
+            t_state_info=config.recovery.t_state_info,
+            state_info_fanout=config.recovery.state_info_fanout,
+            batch_max=config.recovery.batch_max,
+            deliver=self._deliver,
+        )
+        self._leader_rng = host.rng("leader-initial-gossiper")
+
+    def _start_components(self) -> None:
+        self.recovery.start()
+
+    def on_block_from_orderer(self, block: Block) -> None:
+        """Leader entry point: delegate initiation to random peer(s).
+
+        With ``leader_fanout = 1`` the leader only transmits each block
+        once; the receiving peer becomes the initial gossiper (it receives
+        the pair ``(block, 0)`` and forwards ``(block, 1)``). The Fig. 10
+        ablation sets ``leader_fanout = fout``, making the leader initiate
+        the dissemination itself like any infected peer would.
+        """
+        self._deliver(block, via="orderer")
+        # The leader marks the pair (block, 0) as seen so a later echo of
+        # the epidemic does not make it act as a second initial gossiper,
+        # but it does NOT forward: initiation is delegated.
+        self.push._seen_pairs[block.number].add(0)
+        targets = self.view.sample_org(self._leader_rng, self.config.leader_fanout)
+        for target in targets:
+            self.host.send(target, BlockPush(block, counter=0))
+
+    def handle(self, src: str, message: Message) -> bool:
+        if isinstance(message, BlockPush):
+            self._deliver(message.block, via="push")
+            self.push.on_pair(message.block, message.counter)
+            return True
+        if isinstance(message, PushDigest):
+            self.push.on_digest(src, message)
+            return True
+        if isinstance(message, PushRequest):
+            self.push.on_request(src, message)
+            return True
+        if isinstance(message, StateInfo):
+            self.recovery.on_state_info(src, message)
+            return True
+        if isinstance(message, RecoveryRequest):
+            self.recovery.on_recovery_request(src, message)
+            return True
+        if isinstance(message, RecoveryResponse):
+            self.recovery.on_recovery_response(src, message)
+            return True
+        return False

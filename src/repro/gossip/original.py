@@ -1,0 +1,96 @@
+"""The original Fabric v1.2 gossip module: push + pull + recovery."""
+
+from __future__ import annotations
+
+from repro.gossip.base import GossipModule
+from repro.gossip.config import OriginalGossipConfig
+from repro.gossip.messages import (
+    BlockPush,
+    PullBlockRequest,
+    PullBlockResponse,
+    PullDigestRequest,
+    PullDigestResponse,
+    RecoveryRequest,
+    RecoveryResponse,
+    StateInfo,
+)
+from repro.gossip.pull import PullComponent
+from repro.gossip.push_infect_die import InfectAndDiePush
+from repro.gossip.recovery import RecoveryComponent
+from repro.gossip.view import OrganizationView
+from repro.ledger.block import Block
+from repro.net.message import Message
+
+
+class OriginalGossip(GossipModule):
+    """Fabric's stock gossip: infect-and-die push, periodic pull, recovery.
+
+    The leader peer receives each block from the ordering service and is
+    the first infected peer: it pushes the block to ``fout`` random peers,
+    exactly like any other first reception (paper §III-A, Fig. 3).
+    """
+
+    def __init__(self, host, view: OrganizationView, config: OriginalGossipConfig) -> None:
+        super().__init__(host, view)
+        self.config = config
+        self.push = InfectAndDiePush(
+            host,
+            view,
+            fout=config.fout,
+            t_push=config.t_push,
+            buffer_max=config.push_buffer_max,
+        )
+        self.pull = PullComponent(
+            host,
+            view,
+            fin=config.fin,
+            t_pull=config.t_pull,
+            digest_window=config.pull_digest_window,
+            deliver=self._deliver,
+        )
+        self.recovery = RecoveryComponent(
+            host,
+            view,
+            t_recovery=config.recovery.t_recovery,
+            t_state_info=config.recovery.t_state_info,
+            state_info_fanout=config.recovery.state_info_fanout,
+            batch_max=config.recovery.batch_max,
+            deliver=self._deliver,
+        )
+
+    def _start_components(self) -> None:
+        if self.config.fin > 0:
+            self.pull.start()
+        self.recovery.start()
+
+    def on_block_from_orderer(self, block: Block) -> None:
+        if self._deliver(block, via="orderer"):
+            self.push.on_first_reception(block)
+
+    def handle(self, src: str, message: Message) -> bool:
+        if isinstance(message, BlockPush):
+            if self._deliver(message.block, via="push"):
+                self.push.on_first_reception(message.block)
+            return True
+        if isinstance(message, PullDigestRequest):
+            self.pull.on_digest_request(src)
+            return True
+        if isinstance(message, PullDigestResponse):
+            self.pull.on_digest_response(src, message)
+            return True
+        if isinstance(message, PullBlockRequest):
+            self.pull.on_block_request(src, message)
+            return True
+        if isinstance(message, PullBlockResponse):
+            self.pull.on_block_response(src, message)
+            return True
+        if isinstance(message, StateInfo):
+            self.recovery.on_state_info(src, message)
+            return True
+        if isinstance(message, RecoveryRequest):
+            self.recovery.on_recovery_request(src, message)
+            return True
+        if isinstance(message, RecoveryResponse):
+            self.recovery.on_recovery_response(src, message)
+            return True
+        return False

@@ -1,0 +1,225 @@
+"""Infect-upon-contagion push with TTL counters and push digests.
+
+This is the paper's core contribution (§IV). Every block travels with a hop
+counter ``r`` initialized at 0. When a peer receives the *exact pair*
+``(block, k)`` for the first time, it forwards the pair ``(block, k+1)`` to
+``fout`` peers chosen uniformly at random — even if it already held the
+block under a different counter — and the dissemination stops once counters
+reach the agreed ``TTL``. Per-pair forwarding keeps the theoretical
+branching process alive long enough to reach all peers with probability
+``1 - pe`` (appendix analysis in :mod:`repro.analysis.pe`).
+
+To avoid the communication blow-up of late rounds, where almost every peer
+is informed (Fig. 11 ablation), hops beyond ``ttl_direct`` announce a small
+digest first and only transfer the full block on request; with digests the
+full block crosses the wire only ``n + o(n)`` times. Two bookkeeping rules
+keep that bound honest:
+
+* a peer keeps at most one block request in flight (digests arrive in
+  bursts while the first transfer is still on the wire; re-requesting on
+  each would multiply full-block traffic);
+* a peer forwards a pair only once it *holds* the block — pairs learned
+  through digests while the transfer is pending are queued and flushed on
+  arrival, and requests received meanwhile are served on arrival. This
+  also guarantees digest receivers can always obtain the block from the
+  digest's sender.
+
+The paper also sets ``t_push = 0`` for data blocks: Fabric's 10 ms buffer
+merges pairs of the same block with different counters and sends them to a
+single target sample, which biases the randomness and degrades the
+probability guarantee. An optional buffer is kept here for the ablation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.gossip.messages import BlockPush, PushDigest, PushRequest
+from repro.gossip.view import OrganizationView
+from repro.ledger.block import Block
+
+
+class InfectUponContagionPush:
+    """The enhanced push component.
+
+    Args:
+        host: the gossip host (peer adapter).
+        view: membership view.
+        fout: fan-out per first-reception of a pair.
+        ttl: stop forwarding once the outgoing counter would exceed this.
+        ttl_direct: up to this counter value blocks are pushed in full
+            without a digest round-trip (collisions are rare early).
+        use_digests: Fig. 11 ablation switch.
+        t_push: optional buffer timer; the paper's protocol uses 0.
+        on_forward: instrumentation hook ``(block_number, counter, targets)``.
+    """
+
+    REQUEST_RETRY_TIMEOUT = 0.5  # re-request a block if the transfer stalls
+
+    def __init__(
+        self,
+        host,
+        view: OrganizationView,
+        fout: int,
+        ttl: int,
+        ttl_direct: int,
+        use_digests: bool = True,
+        t_push: float = 0.0,
+        on_forward: Optional[Callable[[int, int, List[str]], None]] = None,
+    ) -> None:
+        self.host = host
+        self.view = view
+        self.fout = fout
+        self.ttl = ttl
+        self.ttl_direct = ttl_direct
+        self.use_digests = use_digests
+        self.t_push = t_push
+        self._rng = host.rng("iuc-push-targets")
+        self._on_forward = on_forward
+        # Per block: the set of counters already seen (pair dedup).
+        self._seen_pairs: Dict[int, Set[int]] = defaultdict(set)
+        # Blocks with an outstanding PushRequest: block number -> send time.
+        self._inflight_requests: Dict[int, float] = {}
+        # Pairs learned via digest while the block transfer is pending:
+        # block number -> counters to forward once the block arrives.
+        self._pending_pairs: Dict[int, List[int]] = defaultdict(list)
+        # Requests received while we do not have the block yet:
+        # block number -> [(requester, counter)].
+        self._pending_serves: Dict[int, List[Tuple[str, int]]] = defaultdict(list)
+        # Buffered pairs awaiting a t_push flush (ablation mode only).
+        self._buffer: List[Tuple[Block, int]] = []
+        self._flush_pending = False
+        self.pairs_received = 0
+        self.pairs_forwarded = 0
+        self.digests_sent = 0
+        self.full_pushes_sent = 0
+        self.requests_sent = 0
+
+    # ----- receiving pairs ----------------------------------------------
+
+    def on_pair(self, block: Block, counter: int) -> bool:
+        """Process reception of the full-block pair ``(block, counter)``.
+
+        Returns True if the pair was new. Forwards the new pair, flushes
+        pairs queued while this block's transfer was in flight, and serves
+        peers whose requests arrived before we held the block.
+        """
+        number = block.number
+        self._inflight_requests.pop(number, None)
+        seen = self._seen_pairs[number]
+        is_new = counter not in seen
+        if is_new:
+            seen.add(counter)
+            self.pairs_received += 1
+            self._forward(block, counter)
+        if number in self._pending_pairs:
+            # Queued counters were marked seen when the digest arrived but
+            # never forwarded; a counter can never be both queued and newly
+            # forwarded above, so every queued pair forwards exactly once.
+            for queued_counter in self._pending_pairs.pop(number):
+                self._forward(block, queued_counter)
+        if number in self._pending_serves:
+            for requester, requested_counter in self._pending_serves.pop(number):
+                self.host.send(requester, BlockPush(block, counter=requested_counter, requested=True))
+                self.full_pushes_sent += 1
+        return is_new
+
+    def on_digest(self, src: str, message: PushDigest) -> None:
+        """A digest announces the pair ``(block, counter)``.
+
+        If we hold the block this behaves exactly like a pair reception
+        (minus the payload). Otherwise we request the block — one request
+        in flight per block — and queue the pair for forwarding on arrival,
+        so the branching process resumes the moment the block lands.
+        """
+        number = message.block_number
+        block = self.host.get_block(number)
+        seen = self._seen_pairs[number]
+        if block is not None:
+            if message.counter not in seen:
+                seen.add(message.counter)
+                self.pairs_received += 1
+                self._forward(block, message.counter)
+            return
+        requested_at = self._inflight_requests.get(number)
+        now = self.host.now
+        if requested_at is None or now - requested_at > self.REQUEST_RETRY_TIMEOUT:
+            self._inflight_requests[number] = now
+            self.host.send(src, PushRequest(number, message.counter))
+            self.requests_sent += 1
+        if message.counter not in seen:
+            seen.add(message.counter)
+            self.pairs_received += 1
+            self._pending_pairs[number].append(message.counter)
+
+    def on_request(self, src: str, message: PushRequest) -> None:
+        """Serve a full block requested after one of our digests."""
+        block = self.host.get_block(message.block_number)
+        if block is None:
+            # We advertised the pair but are still waiting for the block
+            # ourselves (possible only in pathological interleavings);
+            # serve as soon as it lands rather than dropping the request.
+            self._pending_serves[message.block_number].append((src, message.counter))
+            return
+        self.host.send(src, BlockPush(block, counter=message.counter, requested=True))
+        self.full_pushes_sent += 1
+
+    # ----- forwarding ------------------------------------------------------
+
+    def _forward(self, block: Block, received_counter: int) -> None:
+        next_counter = received_counter + 1
+        if next_counter > self.ttl:
+            return
+        if self.t_push > 0:
+            self._buffer.append((block, received_counter))
+            if not self._flush_pending:
+                self._flush_pending = True
+                self.host.after(self.t_push, self._flush)
+            return
+        self._send_pair(block, next_counter)
+
+    def _flush(self) -> None:
+        """Ablation mode: Fabric-style buffered flush.
+
+        All buffered pairs are sent to a *single* target sample — the
+        biased behaviour the paper eliminates with ``t_push = 0``.
+        """
+        self._flush_pending = False
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        targets = self.view.sample_org(self._rng, self.fout)
+        for block, received_counter in batch:
+            self._transmit(block, received_counter + 1, targets)
+
+    def _send_pair(self, block: Block, counter: int) -> None:
+        targets = self.view.sample_org(self._rng, self.fout)
+        self._transmit(block, counter, targets)
+
+    def _transmit(self, block: Block, counter: int, targets: List[str]) -> None:
+        use_digest = self.use_digests and counter > self.ttl_direct
+        for target in targets:
+            if use_digest:
+                self.host.send(target, PushDigest(block.number, block.block_hash, counter))
+                self.digests_sent += 1
+            else:
+                self.host.send(target, BlockPush(block, counter=counter))
+                self.full_pushes_sent += 1
+        self.pairs_forwarded += 1
+        if self._on_forward is not None:
+            self._on_forward(block.number, counter, targets)
+
+    # ----- bookkeeping ----------------------------------------------------
+
+    def forget_before(self, block_number: int) -> None:
+        """Drop pair-tracking state for old blocks (memory bound)."""
+        for mapping in (self._seen_pairs, self._pending_pairs, self._pending_serves):
+            stale = [number for number in mapping if number < block_number]
+            for number in stale:
+                del mapping[number]
+        stale_requests = [
+            number for number in self._inflight_requests if number < block_number
+        ]
+        for number in stale_requests:
+            del self._inflight_requests[number]

@@ -1,0 +1,97 @@
+"""Membership view: who a peer may gossip with.
+
+Fabric gossip operates on a complete graph within an organization — every
+peer knows the identity of every other peer of its org (certified by the
+MSP) — and block dissemination is, for trust reasons, restricted to peers of
+the same organization. Recovery, by contrast, may consult peers of the whole
+channel (paper §III-A).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.simulation.random import sample_without
+
+
+class OrganizationView:
+    """The static membership view handed to a peer's gossip module.
+
+    Args:
+        self_name: the owning peer.
+        org_peers: all peers of the owning peer's organization (including
+            the owner; it is excluded from sampling automatically).
+        channel_peers: all peers of the channel (any organization).
+        leader: the org's leader peer (receives blocks from orderers).
+    """
+
+    def __init__(
+        self,
+        self_name: str,
+        org_peers: Sequence[str],
+        channel_peers: Sequence[str],
+        leader: str,
+    ) -> None:
+        if self_name not in org_peers:
+            raise ValueError(f"{self_name!r} not part of its own organization view")
+        if leader not in org_peers:
+            raise ValueError(f"leader {leader!r} not part of the organization")
+        self.self_name = self_name
+        self.leader = leader
+        self._org_others: List[str] = [name for name in org_peers if name != self_name]
+        self._org_peers: List[str] = list(org_peers)
+        self._channel_others: List[str] = [name for name in channel_peers if name != self_name]
+
+    @property
+    def org_size(self) -> int:
+        """Number of peers in the organization (including self)."""
+        return len(self._org_peers)
+
+    @property
+    def org_others(self) -> List[str]:
+        """The other peers of the organization (gossip candidates)."""
+        return list(self._org_others)
+
+    @property
+    def channel_others(self) -> List[str]:
+        """All other peers of the channel (recovery candidates)."""
+        return list(self._channel_others)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.self_name == self.leader
+
+    def sample_org(self, rng: random.Random, k: int, exclude: Sequence[str] = ()) -> List[str]:
+        """``k`` distinct random org peers, excluding self and ``exclude``."""
+        return sample_without(rng, self._org_others, k, exclude)
+
+    def sample_channel(self, rng: random.Random, k: int, exclude: Sequence[str] = ()) -> List[str]:
+        """``k`` distinct random channel peers (recovery is cross-org)."""
+        return sample_without(rng, self._channel_others, k, exclude)
+
+
+def build_views(
+    org_members: Dict[str, List[str]], leaders: Dict[str, str]
+) -> Dict[str, OrganizationView]:
+    """Construct the per-peer views for a multi-organization channel.
+
+    Args:
+        org_members: organization name -> member peer names.
+        leaders: organization name -> leader peer name.
+
+    Returns:
+        peer name -> its :class:`OrganizationView`.
+    """
+    channel_peers = [name for members in org_members.values() for name in members]
+    views: Dict[str, OrganizationView] = {}
+    for org, members in org_members.items():
+        leader = leaders[org]
+        for name in members:
+            views[name] = OrganizationView(
+                self_name=name,
+                org_peers=members,
+                channel_peers=channel_peers,
+                leader=leader,
+            )
+    return views

@@ -1,0 +1,34 @@
+"""Ledger substrate: blocks, hash chain, versioned state, transactions.
+
+Implements the data model of Fabric's execute-order-validate pipeline:
+read/write sets over a versioned key/value store
+(:mod:`repro.ledger.kvstore`, :mod:`repro.ledger.rwset`), endorsed
+transaction proposals (:mod:`repro.ledger.transaction`), SHA-256 chained
+blocks (:mod:`repro.ledger.block`) and the per-peer chain store with
+strictly in-order commit (:mod:`repro.ledger.chain`).
+"""
+
+from repro.ledger.block import Block, BlockHeader, GENESIS_PREVIOUS_HASH
+from repro.ledger.chain import Blockchain, ChainError
+from repro.ledger.kvstore import KeyValueStore, Version, VersionedValue
+from repro.ledger.rwset import ReadWriteSet
+from repro.ledger.transaction import (
+    Endorsement,
+    TransactionProposal,
+    ValidationCode,
+)
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "ChainError",
+    "Endorsement",
+    "GENESIS_PREVIOUS_HASH",
+    "KeyValueStore",
+    "ReadWriteSet",
+    "TransactionProposal",
+    "ValidationCode",
+    "Version",
+    "VersionedValue",
+]

@@ -1,0 +1,24 @@
+"""Measurement layer: latencies, bandwidth, conflicts, probability plots.
+
+Collects exactly the quantities the paper's evaluation reports: per-peer
+and per-block first-reception latency distributions (Figs. 4/5/7/8/12/13),
+bandwidth time series aggregated over 10-second windows (Figs. 6/9/10/11/14)
+and validation-time conflict counts (Table II).
+"""
+
+from repro.metrics.bandwidth import BandwidthReport, aggregate_series
+from repro.metrics.conflicts import ConflictTracker
+from repro.metrics.latency import DisseminationTracker, LatencyStats
+from repro.metrics.probability_plot import logistic_probability_points, logit
+from repro.metrics.report import format_table
+
+__all__ = [
+    "BandwidthReport",
+    "ConflictTracker",
+    "DisseminationTracker",
+    "LatencyStats",
+    "aggregate_series",
+    "format_table",
+    "logistic_probability_points",
+    "logit",
+]

@@ -1,0 +1,106 @@
+"""Export experiment series as CSV/JSON for external plotting.
+
+The benchmarks print ASCII renderings; downstream users typically want the
+raw series to plot with their own tools. These helpers write the latency
+probability-plot points and bandwidth series in flat, self-describing CSV,
+and whole-result summaries as JSON.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping, Sequence
+
+from repro.metrics.latency import LatencyStats
+from repro.metrics.probability_plot import ProbabilityPoint
+
+
+def latency_curves_to_csv(curves: Mapping[str, Sequence[ProbabilityPoint]]) -> str:
+    """CSV with columns: curve, latency_s, fraction, logit.
+
+    ``curves`` maps a label (e.g. ``"fastest"``) to probability-plot
+    points, as produced by :func:`repro.experiments.figures.peer_level_figure`.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["curve", "latency_s", "fraction", "logit"])
+    for label in curves:
+        for point in curves[label]:
+            writer.writerow([label, f"{point.latency:.6f}", f"{point.fraction:.6f}",
+                             f"{point.ordinate:.6f}"])
+    return buffer.getvalue()
+
+
+def bandwidth_series_to_csv(
+    interval: float, series: Mapping[str, Sequence[float]]
+) -> str:
+    """CSV with columns: time_s, <one column per series label> (MB/s)."""
+    labels = list(series)
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) > 1:
+        raise ValueError(f"series lengths differ: { {k: len(v) for k, v in series.items()} }")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s"] + [f"{label}_mb_per_s" for label in labels])
+    length = lengths.pop() if lengths else 0
+    for index in range(length):
+        row = [f"{index * interval:.1f}"]
+        row.extend(f"{series[label][index]:.6f}" for label in labels)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def latency_stats_to_dict(stats: LatencyStats) -> Dict[str, float]:
+    return {
+        "count": stats.count,
+        "mean_s": stats.mean,
+        "min_s": stats.minimum,
+        "max_s": stats.maximum,
+        "p50_s": stats.p50,
+        "p95_s": stats.p95,
+        "p99_s": stats.p99,
+    }
+
+
+def dissemination_result_to_json(result) -> str:
+    """A self-describing JSON summary of a dissemination run.
+
+    Includes the experiment parameters, latency statistics, bandwidth
+    averages and per-kind message counts — everything EXPERIMENTS.md
+    tabulates, machine-readable.
+    """
+    config = result.config
+    gossip = config.gossip
+    counts = result.bandwidth_report().message_counts()
+    payload = {
+        "experiment": {
+            "gossip": type(gossip).__name__,
+            "gossip_parameters": {
+                key: value
+                for key, value in vars(gossip).items()
+                if isinstance(value, (int, float, bool, str))
+            },
+            "n_peers": config.n_peers,
+            "blocks": config.blocks,
+            "block_period_s": config.block_period,
+            "tx_per_block": config.tx_per_block,
+            "seed": config.seed,
+        },
+        "latency": latency_stats_to_dict(result.latency_summary()),
+        "coverage_complete": result.coverage_complete(),
+        "bandwidth": {
+            "leader_mb_per_s": result.average_leader_mb_per_s(),
+            "regular_avg_mb_per_s": result.average_regular_peer_mb_per_s(),
+            "network_total_mb": result.bandwidth_report().network_total_mb(),
+        },
+        "messages_per_block": {
+            kind: count / config.blocks for kind, count in sorted(counts.items())
+        },
+        "blocks_via": {
+            "pull": result.pull_usage(),
+            "recovery": result.recovery_usage(),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,199 @@
+"""Dissemination latency tracking.
+
+The paper defines block dissemination latency from "the beginning of their
+dissemination (i.e. their reception by the contact peer from the orderer
+nodes)" (§V-B): time zero for a block is the moment the *leader peer*
+receives it from the ordering service; every peer's latency is its first
+reception of the block relative to that. The leader itself has latency 0.
+
+Two aggregations feed the figures:
+
+* **peer level** (Figs. 4/7/12): for each peer, the distribution of its
+  latencies over all blocks; the paper plots the fastest / median / slowest
+  peers ranked by average latency;
+* **block level** (Figs. 5/8/13): for each block, the distribution of peer
+  latencies; the paper plots the fastest / median / slowest blocks ranked
+  by the time to reach all peers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics of one latency sample set."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            raise ValueError("cannot summarize an empty sample set")
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=percentile(ordered, 0.50),
+            p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
+        )
+
+
+def percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of a pre-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    # a + (b - a) * w is exact for a == b, unlike a*(1-w) + b*w.
+    return ordered[low] + (ordered[high] - ordered[low]) * weight
+
+
+class DisseminationTracker:
+    """Records first-reception times of every (block, peer) pair."""
+
+    def __init__(self) -> None:
+        # block number -> leader reception time (dissemination t0)
+        self._t0: Dict[int, float] = {}
+        self._cut_at: Dict[int, float] = {}
+        # block number -> {peer -> latency relative to t0}
+        self._latency: Dict[int, Dict[str, float]] = {}
+        # receptions that arrive before the leader's t0 is known (possible
+        # only with cross-org relaying); resolved lazily.
+        self._absolute: Dict[int, Dict[str, float]] = {}
+        self.commit_times: Dict[Tuple[str, int], float] = {}
+
+    # ----- recording hooks (called by orderer / peers) -------------------
+
+    def block_cut(self, block_number: int, time: float) -> None:
+        self._cut_at.setdefault(block_number, time)
+
+    def leader_received(self, block_number: int, time: float) -> None:
+        if block_number not in self._t0:
+            self._t0[block_number] = time
+            self._latency.setdefault(block_number, {})
+
+    def first_reception(self, peer: str, block_number: int, time: float) -> None:
+        self._absolute.setdefault(block_number, {}).setdefault(peer, time)
+
+    def committed(self, peer: str, block_number: int, time: float) -> None:
+        self.commit_times[(peer, block_number)] = time
+
+    # ----- resolution ----------------------------------------------------
+
+    def _resolve(self) -> None:
+        for number, receptions in self._absolute.items():
+            t0 = self._t0.get(number)
+            if t0 is None:
+                continue
+            per_block = self._latency.setdefault(number, {})
+            for peer, when in receptions.items():
+                per_block.setdefault(peer, max(0.0, when - t0))
+
+    # ----- queries ---------------------------------------------------------
+
+    def blocks(self) -> List[int]:
+        self._resolve()
+        return sorted(self._latency)
+
+    def block_latencies(self, block_number: int) -> Dict[str, float]:
+        """peer -> latency for one block."""
+        self._resolve()
+        return dict(self._latency.get(block_number, {}))
+
+    def peer_latencies(self, peer: str) -> List[float]:
+        """This peer's latency over all blocks it received."""
+        self._resolve()
+        return [
+            latencies[peer]
+            for latencies in self._latency.values()
+            if peer in latencies
+        ]
+
+    def peers(self) -> List[str]:
+        self._resolve()
+        names = set()
+        for latencies in self._latency.values():
+            names.update(latencies)
+        return sorted(names)
+
+    def orderer_to_leader_delay(self, block_number: int) -> Optional[float]:
+        """Consensus-to-leader delay (not part of dissemination latency)."""
+        t0 = self._t0.get(block_number)
+        cut = self._cut_at.get(block_number)
+        if t0 is None or cut is None:
+            return None
+        return t0 - cut
+
+    # ----- the paper's aggregations --------------------------------------
+
+    def peer_ranking(self) -> List[Tuple[str, float]]:
+        """Peers sorted by average latency (fastest first)."""
+        ranking = [
+            (peer, sum(samples) / len(samples))
+            for peer in self.peers()
+            if (samples := self.peer_latencies(peer))
+        ]
+        ranking.sort(key=lambda item: item[1])
+        return ranking
+
+    def fastest_median_slowest_peers(self) -> Tuple[str, str, str]:
+        """The three peers plotted in Figs. 4/7/12."""
+        ranking = self.peer_ranking()
+        if not ranking:
+            raise ValueError("no latencies recorded")
+        return ranking[0][0], ranking[len(ranking) // 2][0], ranking[-1][0]
+
+    def block_ranking(self) -> List[Tuple[int, float]]:
+        """Blocks sorted by their full-dissemination time (fastest first).
+
+        A block's dissemination time is the maximum peer latency, i.e. the
+        time for the block to reach every peer.
+        """
+        self._resolve()
+        ranking = [
+            (number, max(latencies.values()))
+            for number, latencies in self._latency.items()
+            if latencies
+        ]
+        ranking.sort(key=lambda item: item[1])
+        return ranking
+
+    def fastest_median_slowest_blocks(self) -> Tuple[int, int, int]:
+        """The three blocks plotted in Figs. 5/8/13."""
+        ranking = self.block_ranking()
+        if not ranking:
+            raise ValueError("no latencies recorded")
+        return ranking[0][0], ranking[len(ranking) // 2][0], ranking[-1][0]
+
+    def all_latencies(self) -> List[float]:
+        self._resolve()
+        return [value for latencies in self._latency.values() for value in latencies.values()]
+
+    def coverage(self, expected_peers: int) -> Dict[int, int]:
+        """block -> number of peers that received it (completeness check)."""
+        self._resolve()
+        return {number: len(latencies) for number, latencies in self._latency.items()}
+
+    def summary(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.all_latencies())

@@ -1,0 +1,90 @@
+"""Logistic probability plots.
+
+Figures 4/5/7/8/12/13 are probability plots with a logarithmic scale based
+on a logistic distribution: the y-axis positions a cumulative fraction p at
+``logit(p) = ln(p / (1-p))``. Push dissemination grows like a logistic
+function — exponential take-off, slow saturation — so a well-behaved
+dissemination appears as a straight line on these axes, and heavy tails
+(the original module's pull phase) bend away visibly.
+
+:func:`logistic_probability_points` converts a latency sample into the
+plotted (time, fraction, logit) triples, using the standard plotting
+positions ``p_i = (i - 0.5) / n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+# The probability labels the paper uses on its y-axes.
+PAPER_Y_TICKS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25,
+    0.5, 0.75, 0.9, 0.95, 0.99, 0.995, 0.999, 0.9995, 0.9999,
+)
+
+
+def logit(p: float) -> float:
+    """The logistic quantile function ln(p / (1 - p))."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    return math.log(p / (1.0 - p))
+
+
+@dataclass
+class ProbabilityPoint:
+    """One plotted point: latency, cumulative fraction, logit ordinate."""
+
+    latency: float
+    fraction: float
+    ordinate: float
+
+
+def logistic_probability_points(samples: Sequence[float]) -> List[ProbabilityPoint]:
+    """Convert latency samples to logistic-probability plot points."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    points = []
+    for index, latency in enumerate(ordered, start=1):
+        fraction = (index - 0.5) / n
+        points.append(
+            ProbabilityPoint(latency=latency, fraction=fraction, ordinate=logit(fraction))
+        )
+    return points
+
+
+def tail_latency(samples: Sequence[float], fraction: float) -> float:
+    """Latency by which ``fraction`` of the samples have been served.
+
+    ``tail_latency(samples, 0.95)`` is the time to reach 95% of peers —
+    the paper's "last 5%" discussions read directly off this.
+    """
+    if not samples:
+        raise ValueError("empty sample")
+    ordered = sorted(samples)
+    index = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[index]
+
+
+def linearity_r2(points: Sequence[ProbabilityPoint]) -> float:
+    """R² of latency vs. logit ordinate over the given points.
+
+    Used by tests to check the paper's observation that enhanced-gossip
+    curves are almost linear on logistic probability paper.
+    """
+    if len(points) < 3:
+        raise ValueError("need at least 3 points")
+    xs = [point.latency for point in points]
+    ys = [point.ordinate for point in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return (cov * cov) / (var_x * var_y)

@@ -1,0 +1,32 @@
+"""Simulated network substrate.
+
+Models the 1 Gbps LAN of the paper's testbed: typed messages with explicit
+wire sizes (:mod:`repro.net.message`), configurable latency models
+(:mod:`repro.net.latency`), per-node full-duplex NIC serialization and
+delivery (:mod:`repro.net.network`) and traffic accounting for the bandwidth
+figures (:mod:`repro.net.monitor`).
+"""
+
+from repro.net.latency import (
+    ConstantLatency,
+    LanLatency,
+    LatencyModel,
+    UniformLatency,
+    WanLatency,
+)
+from repro.net.message import Message
+from repro.net.monitor import TrafficMonitor, TrafficTotals
+from repro.net.network import Network, NetworkConfig
+
+__all__ = [
+    "ConstantLatency",
+    "LanLatency",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkConfig",
+    "TrafficMonitor",
+    "TrafficTotals",
+    "UniformLatency",
+    "WanLatency",
+]

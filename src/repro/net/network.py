@@ -1,0 +1,164 @@
+"""Point-to-point network with per-NIC serialization.
+
+Delivery time of a message from A to B decomposes as:
+
+* **uplink serialization** at A: the NIC transmits at ``bandwidth`` bytes/s
+  and messages queue FIFO, so a burst of ``fout`` pushes of a 160 KB block
+  serializes — this is exactly the leader-peer bottleneck the paper's Fig. 10
+  ablation demonstrates;
+* **propagation latency** drawn from the latency model;
+* **downlink serialization** at B, modelling receive-side contention when
+  many peers push the same block to one target.
+
+Nodes register a handler; the fault layer can additionally drop messages or
+disconnect nodes. All traffic is accounted in the :class:`TrafficMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.net.latency import LanLatency, LatencyModel
+from repro.net.message import Message
+from repro.net.monitor import TrafficMonitor
+from repro.simulation.engine import Simulator
+from repro.simulation.random import RandomStreams
+
+Handler = Callable[[str, Message], None]
+
+GIGABIT_PER_SECOND_BYTES = 125_000_000  # 1 Gbps full duplex, per direction
+
+
+@dataclass
+class NetworkConfig:
+    """Wire-level parameters.
+
+    Attributes:
+        bandwidth: NIC rate in bytes/second per direction (full duplex).
+        envelope_overhead: fixed per-message overhead in bytes (TCP/IP +
+            gRPC framing + protobuf envelope + signature).
+        latency_model: propagation model; default LAN.
+        monitor_bin_width: traffic accounting bin width (seconds).
+        downlink_queue_min_bytes: receive-side serialization is modelled
+            only for messages at least this large (full blocks). Small
+            messages pay their transfer time but skip the queue — their
+            contribution to receiver contention is negligible and skipping
+            it halves the event count.
+    """
+
+    bandwidth: float = float(GIGABIT_PER_SECOND_BYTES)
+    envelope_overhead: int = 256
+    latency_model: LatencyModel = field(default_factory=LanLatency)
+    monitor_bin_width: float = 1.0
+    downlink_queue_min_bytes: int = 25_000
+
+
+class Network:
+    """The simulated LAN connecting all processes.
+
+    The gossip layer of Fabric operates on a complete graph (every peer can
+    reach every other peer in its organization), so the network imposes no
+    topology restriction; access control lives in the protocol layer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        if self.config.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._rng = streams.stream("network:latency")
+        self._handlers: Dict[str, Handler] = {}
+        self._uplink_free_at: Dict[str, float] = {}
+        self._downlink_free_at: Dict[str, float] = {}
+        self._disconnected: Dict[str, bool] = {}
+        self.monitor = TrafficMonitor(bin_width=self.config.monitor_bin_width)
+        self.dropped_messages = 0
+        self._drop_filter: Optional[Callable[[str, str, Message], bool]] = None
+
+    def register(self, name: str, handler: Handler) -> None:
+        """Attach a process; ``handler(src, message)`` is called on delivery."""
+        if name in self._handlers:
+            raise ValueError(f"node {name!r} already registered")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def set_disconnected(self, name: str, disconnected: bool) -> None:
+        """Simulate a node dropping off the network (crash / partition)."""
+        self._disconnected[name] = disconnected
+
+    def set_drop_filter(self, drop: Optional[Callable[[str, str, Message], bool]]) -> None:
+        """Install a message-drop predicate (fault injection / packet loss)."""
+        self._drop_filter = drop
+
+    def wire_size(self, message: Message) -> int:
+        """Bytes on the wire: payload plus fixed envelope."""
+        return message.payload_size() + self.config.envelope_overhead
+
+    def send(self, src: str, dst: str, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        Sends to unknown or disconnected destinations are silently dropped,
+        like packets to a crashed host; sends from a disconnected source are
+        dropped too. Self-sends are rejected — the protocols never need them.
+        """
+        if src == dst:
+            raise ValueError(f"{src!r} attempted to send a message to itself")
+        if src not in self._handlers:
+            raise ValueError(f"unknown source node {src!r}")
+        size = self.wire_size(message)
+        if self._disconnected.get(src) or self._disconnected.get(dst):
+            self.dropped_messages += 1
+            return
+        if self._drop_filter is not None and self._drop_filter(src, dst, message):
+            self.dropped_messages += 1
+            return
+        now = self.sim.now
+        # The monitor accounts the message at send time: utilization plots
+        # reflect when bytes enter the network, as a host-side counter would.
+        self.monitor.record(now, src, dst, message.kind, size)
+        transfer = size / self.config.bandwidth
+        uplink_start = max(now, self._uplink_free_at.get(src, 0.0))
+        uplink_done = uplink_start + transfer
+        self._uplink_free_at[src] = uplink_done
+        arrival = uplink_done + self.config.latency_model.sample(self._rng, src, dst)
+        if size < self.config.downlink_queue_min_bytes:
+            self.sim.schedule_at(arrival + transfer, self._deliver, src, dst, message)
+            return
+        # Receive-side queueing must be resolved in ARRIVAL order, not send
+        # order: an early-sent message on a slow (WAN) path must not
+        # reserve the receiver's downlink ahead of later-sent messages on
+        # fast paths. Large messages therefore take a two-phase schedule.
+        self.sim.schedule_at(arrival, self._arrive, src, dst, message, transfer)
+
+    def _arrive(self, src: str, dst: str, message: Message, transfer: float) -> None:
+        start = max(self.sim.now, self._downlink_free_at.get(dst, 0.0))
+        delivered = start + transfer
+        self._downlink_free_at[dst] = delivered
+        self.sim.schedule_at(delivered, self._deliver, src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message: Message) -> None:
+        if self._disconnected.get(dst):
+            self.dropped_messages += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.dropped_messages += 1
+            return
+        handler(src, message)
+
+    def broadcast(self, src: str, dsts: list, message_factory: Callable[[], Message]) -> None:
+        """Send an independent copy of a message to each destination.
+
+        A factory is taken instead of an instance so each copy gets its own
+        ``msg_id`` and can be mutated independently (e.g. per-hop counters).
+        """
+        for dst in dsts:
+            self.send(src, dst, message_factory())

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic, seedable discrete-event engine on
+which the whole Fabric model runs: a heap-based scheduler with cancellable
+events (:mod:`repro.simulation.engine`), periodic timers
+(:mod:`repro.simulation.timers`), named deterministic random streams
+(:mod:`repro.simulation.random`) and a light-weight process/actor base class
+(:mod:`repro.simulation.process`).
+"""
+
+from repro.simulation.engine import EventHandle, Simulator, SimulationError
+from repro.simulation.process import Process
+from repro.simulation.random import RandomStreams
+from repro.simulation.timers import PeriodicTimer
+
+__all__ = [
+    "EventHandle",
+    "PeriodicTimer",
+    "Process",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,170 @@
+"""Deterministic discrete-event simulation engine.
+
+The :class:`Simulator` is a classic heap-based event loop. Events are
+callbacks scheduled at absolute simulated times. Determinism matters for
+reproducibility: ties on the event time are broken by a monotonically
+increasing sequence number, so two runs with the same seed replay the exact
+same event order.
+
+The engine knows nothing about networks or blockchains; those are layered on
+top in :mod:`repro.net` and :mod:`repro.fabric`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Handle for a scheduled event, usable to cancel it.
+
+    Cancellation is lazy: the entry stays in the heap but is skipped when it
+    surfaces. ``handle.cancelled`` and ``handle.executed`` expose the state.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "executed")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.executed = False
+
+    def cancel(self) -> None:
+        """Cancel the event. Cancelling an executed event is a no-op."""
+        if not self.executed:
+            self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting to fire."""
+        return not self.cancelled and not self.executed
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("done" if self.executed else "pending")
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Heap-based deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, callback, arg1, arg2)
+        sim.run(until=100.0)
+
+    All times are in simulated seconds. The simulator starts at time 0.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List[EventHandle] = []
+        self._running = False
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for instrumentation)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including lazily cancelled ones)."""
+        return sum(1 for event in self._heap if event.pending)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be finite and non-negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if math.isnan(time) or math.isinf(time):
+            raise SimulationError(f"invalid event time: {time}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Args:
+            until: stop once the next event would fire strictly after this
+                time; the clock is then advanced to ``until``. ``None`` runs
+                until the queue drains.
+            max_events: safety valve; raise :class:`SimulationError` if more
+                than this many events execute.
+
+        Returns:
+            The simulated time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.executed = True
+                event.callback(*event.args)
+                self._events_executed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible runaway simulation"
+                    )
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_time: Optional[float] = None) -> float:
+        """Run until the queue is empty or ``max_time`` is reached."""
+        return self.run(until=max_time)
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._now = 0.0
+        self._seq = 0
+        self._heap.clear()
+        self._events_executed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

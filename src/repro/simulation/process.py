@@ -1,0 +1,102 @@
+"""Light-weight process (actor) base class.
+
+A :class:`Process` is anything with an identity that lives on the simulator
+and exchanges messages through a network: Fabric peers, orderers, clients.
+It standardizes access to the clock, to named RNG streams scoped to the
+process, and to timer management so processes can be shut down cleanly
+(used by the fault-injection layer).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional
+
+from repro.simulation.engine import EventHandle, Simulator
+from repro.simulation.random import RandomStreams
+from repro.simulation.timers import PeriodicTimer
+
+
+class Process:
+    """Base class for simulated actors.
+
+    Args:
+        sim: shared simulator.
+        name: globally unique process name (e.g. ``"peer-17"``).
+        streams: the experiment's random stream registry; the process draws
+            from streams namespaced by its own name.
+    """
+
+    def __init__(self, sim: Simulator, name: str, streams: RandomStreams) -> None:
+        self.sim = sim
+        self.name = name
+        self._streams = streams
+        self._timers: List[PeriodicTimer] = []
+        self._alive = True
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    @property
+    def alive(self) -> bool:
+        """False after :meth:`shutdown` (or a simulated crash)."""
+        return self._alive
+
+    def rng(self, purpose: str) -> random.Random:
+        """A deterministic stream scoped to this process and ``purpose``."""
+        return self._streams.stream(f"{self.name}:{purpose}")
+
+    def after(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule a one-shot callback, skipped if the process has died."""
+
+        def guarded(*inner_args: Any) -> None:
+            if self._alive:
+                callback(*inner_args)
+
+        return self.sim.schedule(delay, guarded, *args)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], Any],
+        initial_delay: Optional[float] = None,
+        jitter_stream: Optional[str] = None,
+        jitter_fraction: float = 0.0,
+    ) -> PeriodicTimer:
+        """Register a periodic timer owned by this process.
+
+        If ``jitter_stream`` is given, each tick is offset by a uniform
+        draw in ``[-jitter_fraction, +jitter_fraction] * period`` from the
+        named stream.
+        """
+        jitter: Optional[Callable[[], float]] = None
+        if jitter_stream is not None and jitter_fraction > 0:
+            rng = self.rng(jitter_stream)
+            amplitude = jitter_fraction * period
+
+            def jitter() -> float:
+                return rng.uniform(-amplitude, amplitude)
+
+        def guarded() -> None:
+            if self._alive:
+                callback()
+
+        timer = PeriodicTimer(self.sim, period, guarded, initial_delay=initial_delay, jitter=jitter)
+        self._timers.append(timer)
+        return timer
+
+    def shutdown(self) -> None:
+        """Stop all timers and mark the process dead (simulated crash)."""
+        self._alive = False
+        for timer in self._timers:
+            timer.stop()
+        self._timers.clear()
+
+    def restart(self) -> None:
+        """Mark the process alive again; subclasses re-arm their timers."""
+        self._alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

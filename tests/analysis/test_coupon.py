@@ -1,0 +1,59 @@
+"""Unit tests for the coupon-collector refinement of the pe analysis."""
+
+import pytest
+
+from repro.analysis.coupon import (
+    batch_miss_probability,
+    refined_imperfect_dissemination_probability,
+    refined_ttl_for_target,
+    refinement_gain,
+)
+from repro.analysis.pe import imperfect_dissemination_probability, ttl_for_target
+
+
+def test_batch_miss_probability():
+    # fout distinct targets among n-1: a fixed peer is hit w.p. fout/(n-1).
+    assert batch_miss_probability(100, 4) == pytest.approx(1 - 4 / 99)
+    assert batch_miss_probability(100, 99) == 0.0
+
+
+def test_refined_bound_tighter_than_conservative():
+    for fout, ttl in ((4, 9), (2, 19), (4, 12)):
+        refined = refined_imperfect_dissemination_probability(100, fout, ttl)
+        conservative = imperfect_dissemination_probability(100, fout, ttl)
+        assert refined <= conservative
+
+
+def test_paper_remark_refinement_does_not_change_ttl():
+    """Appendix: the refinement 'does not improve the results for the
+    networks we consider' — the chosen TTLs stay the same."""
+    for fout, target, expected in ((4, 1e-6, 9), (2, 1e-6, 19), (4, 1e-12, 12)):
+        conservative_ttl = ttl_for_target(100, fout, target)
+        refined_ttl = refined_ttl_for_target(100, fout, target)
+        assert conservative_ttl == expected
+        # Refinement can only shave at most a round, and for the paper's
+        # parameters it shaves none or one without changing conclusions.
+        assert refined_ttl in (expected, expected - 1)
+
+
+def test_refined_pe_monotone_in_ttl():
+    values = [
+        refined_imperfect_dissemination_probability(100, 4, ttl) for ttl in range(1, 14)
+    ]
+    assert values == sorted(values, reverse=True)
+
+
+def test_refinement_gain_at_least_one():
+    assert refinement_gain(100, 4, 9) >= 1.0
+    assert refinement_gain(100, 2, 19) >= 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        batch_miss_probability(2, 1)
+    with pytest.raises(ValueError):
+        batch_miss_probability(100, 0)
+    with pytest.raises(ValueError):
+        refined_imperfect_dissemination_probability(100, 4, 0)
+    with pytest.raises(ValueError):
+        refined_ttl_for_target(100, 4, 2.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the exact infect-and-die analysis.
+
+Encodes the paper's §IV computation: with n=100 and fout=3, infect-and-die
+push reaches on average 94 peers with standard deviation 2.6, transmitting
+each block in full 282 times.
+"""
+
+import pytest
+
+from repro.analysis.infect_and_die import coverage_table, infect_and_die_distribution
+
+
+@pytest.fixture(scope="module")
+def paper_case():
+    return infect_and_die_distribution(100, 3)
+
+
+def test_paper_mean_94(paper_case):
+    assert paper_case.mean_infected == pytest.approx(94.0, abs=0.8)
+
+
+def test_paper_std_2_6(paper_case):
+    assert paper_case.std_infected == pytest.approx(2.6, abs=0.3)
+
+
+def test_paper_transmissions_282(paper_case):
+    assert paper_case.mean_transmissions == pytest.approx(282.0, abs=3.0)
+
+
+def test_distribution_sums_to_one(paper_case):
+    assert sum(paper_case.distribution.values()) == pytest.approx(1.0)
+
+
+def test_imperfect_dissemination_is_likely(paper_case):
+    """The motivation for the enhanced design: infect-and-die almost never
+    reaches everyone."""
+    assert paper_case.miss_probability > 0.9
+    assert paper_case.mean_uninformed == pytest.approx(6.0, abs=0.8)
+
+
+def test_higher_fanout_improves_coverage():
+    results = coverage_table(100, [2, 3, 4, 5])
+    means = [r.mean_infected for r in results]
+    assert means == sorted(means)
+    assert results[-1].miss_probability < results[0].miss_probability
+
+
+def test_coverage_fraction_rises_as_n_shrinks():
+    """Why the conflicts experiment keeps n=100: small orgs are covered
+    almost completely by fout=3, hiding the tail."""
+    small = infect_and_die_distribution(20, 3)
+    large = infect_and_die_distribution(100, 3)
+    assert small.mean_infected / 20 > large.mean_infected / 100
+
+
+def test_fout_equal_n_minus_1_reaches_everyone():
+    result = infect_and_die_distribution(10, 9)
+    assert result.mean_infected == pytest.approx(10.0)
+    assert result.miss_probability == pytest.approx(0.0, abs=1e-12)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        infect_and_die_distribution(1, 1)
+    with pytest.raises(ValueError):
+        infect_and_die_distribution(10, 0)
+    with pytest.raises(ValueError):
+        infect_and_die_distribution(10, 10)
+
+
+def test_small_network_exact_by_hand():
+    """n=2, fout=1: the single push always infects the other peer."""
+    result = infect_and_die_distribution(2, 1)
+    assert result.distribution == {2: pytest.approx(1.0)}
+    assert result.mean_transmissions == pytest.approx(2.0)

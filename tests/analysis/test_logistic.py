@@ -1,0 +1,52 @@
+"""Unit tests for the logistic growth bound."""
+
+import pytest
+
+from repro.analysis.carrying import carrying_capacity
+from repro.analysis.logistic import logistic_growth, logistic_limit, time_to_reach
+from repro.analysis.recursion import psi
+
+
+def test_initial_population():
+    assert logistic_growth(0.0, 100, 4) == pytest.approx(1.0)
+
+
+def test_monotone_growth_to_gamma():
+    values = [logistic_growth(t, 100, 4) for t in range(0, 20)]
+    assert values == sorted(values)
+    assert values[-1] == pytest.approx(carrying_capacity(100, 4), abs=0.01)
+
+
+def test_limit_is_gamma():
+    assert logistic_limit(100, 4) == carrying_capacity(100, 4)
+
+
+def test_psi_dominates_logistic_bound():
+    """The appendix proves ψ(r) ≥ X(r) for fout ≥ 2."""
+    for fout in (2, 3, 4):
+        for r in range(0, 25):
+            assert psi(r, 100, fout) >= logistic_growth(r, 100, fout) - 1e-9
+
+
+def test_time_to_reach_inverts_growth():
+    target = 50.0
+    t = time_to_reach(target, 100, 4)
+    assert logistic_growth(t, 100, 4) == pytest.approx(target)
+
+
+def test_time_to_reach_bounds():
+    gamma = carrying_capacity(100, 4)
+    with pytest.raises(ValueError):
+        time_to_reach(gamma + 1, 100, 4)
+    with pytest.raises(ValueError):
+        time_to_reach(0.5, 100, 4)
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        logistic_growth(-1.0, 100, 4)
+
+
+def test_fractional_rounds_supported():
+    mid = logistic_growth(2.5, 100, 4)
+    assert logistic_growth(2.0, 100, 4) < mid < logistic_growth(3.0, 100, 4)

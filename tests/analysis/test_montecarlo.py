@@ -1,0 +1,59 @@
+"""Unit tests cross-validating Monte Carlo against exact analysis."""
+
+import random
+
+import pytest
+
+from repro.analysis.infect_and_die import infect_and_die_distribution
+from repro.analysis.montecarlo import (
+    simulate_infect_and_die,
+    simulate_infect_upon_contagion,
+)
+from repro.analysis.pe import expected_digests
+
+
+def test_infect_and_die_matches_exact_analysis():
+    exact = infect_and_die_distribution(100, 3)
+    sampled = simulate_infect_and_die(100, 3, runs=1500, rng=random.Random(1))
+    assert sampled.mean_informed == pytest.approx(exact.mean_infected, abs=0.3)
+    assert sampled.std_informed == pytest.approx(exact.std_infected, abs=0.4)
+    assert sampled.mean_full_transmissions == pytest.approx(exact.mean_transmissions, abs=1.0)
+
+
+def test_infect_and_die_rarely_full_coverage():
+    sampled = simulate_infect_and_die(100, 3, runs=500, rng=random.Random(2))
+    assert sampled.full_coverage_fraction < 0.1
+
+
+def test_infect_upon_contagion_reaches_everyone_paper_f4():
+    sampled = simulate_infect_upon_contagion(100, 4, ttl=9, runs=400, rng=random.Random(3))
+    assert sampled.full_coverage_fraction == 1.0
+    assert sampled.min_informed == 100
+
+
+def test_infect_upon_contagion_reaches_everyone_paper_f2():
+    sampled = simulate_infect_upon_contagion(100, 2, ttl=19, runs=400, rng=random.Random(4))
+    assert sampled.full_coverage_fraction == 1.0
+
+
+def test_low_ttl_fails_to_cover():
+    sampled = simulate_infect_upon_contagion(100, 4, ttl=3, runs=200, rng=random.Random(5))
+    assert sampled.full_coverage_fraction < 0.5
+
+
+def test_pair_transmissions_close_to_analytic_m():
+    """Sampled digest counts track m = fout·Σψ(i) (the psi-method value)."""
+    sampled = simulate_infect_upon_contagion(100, 4, ttl=9, runs=300, rng=random.Random(6))
+    analytic = expected_digests(100, 4, 9, method="psi")
+    assert sampled.mean_full_transmissions == pytest.approx(analytic, rel=0.05)
+
+
+def test_deterministic_given_rng():
+    a = simulate_infect_and_die(50, 3, runs=50, rng=random.Random(9))
+    b = simulate_infect_and_die(50, 3, runs=50, rng=random.Random(9))
+    assert a == b
+
+
+def test_invalid_ttl():
+    with pytest.raises(ValueError):
+        simulate_infect_upon_contagion(10, 2, ttl=0, runs=1)

@@ -1,0 +1,102 @@
+"""Unit tests for the probability of imperfect dissemination & TTL choice.
+
+These encode the paper's §IV parameter claims verbatim.
+"""
+
+import pytest
+
+from repro.analysis.pe import (
+    digests_for_target,
+    expected_digests,
+    imperfect_dissemination_probability,
+    rounds_estimate,
+    full_block_transmissions,
+    ttl_for_target,
+)
+
+
+def test_paper_claim_fout4_ttl9_gives_1e6():
+    """(1) fout = ⌊ln n⌋ = 4 and TTL = 9 achieve pe = 1e-6 at n=100."""
+    assert ttl_for_target(100, 4, 1e-6) == 9
+    assert imperfect_dissemination_probability(100, 4, 9) <= 1e-6
+    assert imperfect_dissemination_probability(100, 4, 8) > 1e-6
+
+
+def test_paper_claim_fout2_ttl19_gives_1e6():
+    """(2) fout = 2 and TTL = 19 achieve pe = 1e-6 at n=100."""
+    assert ttl_for_target(100, 2, 1e-6) == 19
+    assert imperfect_dissemination_probability(100, 2, 19) <= 1e-6
+    assert imperfect_dissemination_probability(100, 2, 18) > 1e-6
+
+
+def test_paper_claim_fout4_ttl12_gives_1e12():
+    """Increasing TTL from 9 to 12 with fout=4 leads to pe = 1e-12."""
+    assert ttl_for_target(100, 4, 1e-12) == 12
+    assert imperfect_dissemination_probability(100, 4, 12) <= 1e-12
+
+
+def test_pe_decreases_with_ttl():
+    values = [imperfect_dissemination_probability(100, 4, ttl) for ttl in range(1, 15)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_pe_decreases_with_fout():
+    values = [imperfect_dissemination_probability(100, fout, 9) for fout in (2, 3, 4, 6)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_pe_clamped_to_one():
+    assert imperfect_dissemination_probability(100, 2, 1) == 1.0
+
+
+def test_expected_digests_grows_linearly_after_saturation():
+    m10 = expected_digests(100, 4, 10)
+    m11 = expected_digests(100, 4, 11)
+    m12 = expected_digests(100, 4, 12)
+    # After saturation each extra round adds ~fout * gamma digests.
+    assert m12 - m11 == pytest.approx(m11 - m10, rel=0.01)
+    assert m11 - m10 == pytest.approx(4 * 98.0, rel=0.02)
+
+
+def test_psi_method_is_tighter():
+    assert expected_digests(100, 4, 9, method="psi") >= expected_digests(100, 4, 9)
+    assert ttl_for_target(100, 2, 1e-6, method="psi") <= 19
+
+
+def test_digests_for_target_inverse_of_bound():
+    m = digests_for_target(100, 1e-6)
+    assert 100 * (1 - 1 / 100) ** m == pytest.approx(1e-6, rel=1e-6)
+
+
+def test_rounds_estimate_consistent_with_ttl():
+    m = expected_digests(100, 4, 9)
+    estimate = rounds_estimate(100, 4, m)
+    assert 7.0 <= estimate <= 10.0
+
+
+def test_full_block_transmissions_n_plus_o_n():
+    """With digests, blocks cross the wire ~n + o(n) times (paper §IV)."""
+    total = full_block_transmissions(100, 4, ttl=9, ttl_direct=2)
+    assert 100 <= total <= 130
+
+
+def test_ttl_varies_slowly_with_n():
+    """The paper stores few (n, pe) entries because TTL grows ~log n."""
+    ttl_100 = ttl_for_target(100, 4, 1e-6)
+    ttl_1000 = ttl_for_target(1000, 4, 1e-6)
+    ttl_10000 = ttl_for_target(10_000, 4, 1e-6)
+    assert ttl_1000 - ttl_100 <= 3
+    assert ttl_10000 - ttl_1000 <= 3
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        expected_digests(100, 4, 0)
+    with pytest.raises(ValueError):
+        digests_for_target(100, 1.5)
+    with pytest.raises(ValueError):
+        ttl_for_target(100, 4, 1e-6, method="nonsense")
+    with pytest.raises(ValueError):
+        rounds_estimate(100, 4, -1.0)
+    with pytest.raises(ValueError):
+        full_block_transmissions(100, 4, ttl=3, ttl_direct=5)

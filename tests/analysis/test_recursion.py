@@ -1,0 +1,67 @@
+"""Unit tests for the ψ recursion."""
+
+import pytest
+
+from repro.analysis.carrying import carrying_capacity
+from repro.analysis.recursion import phi, psi, psi_sequence
+
+
+def test_phi_of_zero_is_zero():
+    assert phi(0.0, 100, 4) == 0.0
+
+
+def test_phi_single_sender():
+    # One peer sending fout digests reaches slightly less than fout peers
+    # (self/duplicate targets allowed by the conservative analysis).
+    assert phi(1.0, 100, 4) == pytest.approx(3.94, abs=0.01)
+
+
+def test_phi_monotone_and_bounded():
+    values = [phi(x, 100, 4) for x in (0, 1, 5, 20, 50, 100, 1000)]
+    assert values == sorted(values)
+    assert all(v <= 100 for v in values)  # asymptote at n
+
+
+def test_phi_concavity():
+    # φ((a+b)/2) >= (φ(a)+φ(b))/2 for a concave function.
+    a, b = 5.0, 50.0
+    assert phi((a + b) / 2, 100, 4) >= (phi(a, 100, 4) + phi(b, 100, 4)) / 2
+
+
+def test_psi_base_case():
+    assert psi(0, 100, 4) == 1.0
+    assert psi(0, 100, 4, x0=3.0) == 3.0
+
+
+def test_psi_monotone_increasing():
+    seq = psi_sequence(15, 100, 4)
+    assert all(a < b or b > 97 for a, b in zip(seq, seq[1:]))
+    assert seq == sorted(seq)
+
+
+def test_psi_converges_to_carrying_capacity():
+    # The closed-form γ uses the continuous approximation e^{-x/n} for
+    # (1 - 1/n)^x, so the ψ fixed point differs from γ by O(1/n) terms.
+    gamma = carrying_capacity(100, 4)
+    assert psi(50, 100, 4) == pytest.approx(gamma, abs=0.1)
+    gamma2 = carrying_capacity(100, 2)
+    assert psi(80, 100, 2) == pytest.approx(gamma2, abs=0.3)
+
+
+def test_psi_sequence_length():
+    assert len(psi_sequence(9, 100, 4)) == 10
+
+
+def test_psi_matches_iterated_phi():
+    assert psi(3, 100, 4) == phi(phi(phi(1.0, 100, 4), 100, 4), 100, 4)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        psi(-1, 100, 4)
+    with pytest.raises(ValueError):
+        phi(-1.0, 100, 4)
+    with pytest.raises(ValueError):
+        phi(1.0, 100, 0)
+    with pytest.raises(ValueError):
+        psi_sequence(-1, 100, 4)

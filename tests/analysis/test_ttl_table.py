@@ -1,0 +1,57 @@
+"""Unit tests for the (n, pe) → TTL lookup table."""
+
+import pytest
+
+from repro.analysis.ttl_table import TTLTable
+
+
+@pytest.fixture(scope="module")
+def table():
+    return TTLTable(fout=4, sizes=(50, 100, 500, 1000), pe_targets=(1e-6, 1e-12))
+
+
+def test_exact_entries_match_direct_computation(table):
+    from repro.analysis.pe import ttl_for_target
+
+    assert table.entry(100, 1e-6) == ttl_for_target(100, 4, 1e-6) == 9
+    assert table.entry(100, 1e-12) == 12
+
+
+def test_lookup_uses_lowest_upper_bound(table):
+    """An org of 73 peers uses the n=100 row (paper's rule)."""
+    assert table.lookup(73, 1e-6) == table.entry(100, 1e-6)
+    assert table.lookup(100, 1e-6) == table.entry(100, 1e-6)
+    assert table.lookup(101, 1e-6) == table.entry(500, 1e-6)
+
+
+def test_lookup_beyond_table_rejected(table):
+    with pytest.raises(ValueError):
+        table.lookup(5000, 1e-6)
+
+
+def test_unknown_pe_target_rejected(table):
+    with pytest.raises(KeyError):
+        table.lookup(80, 1e-9)
+    with pytest.raises(KeyError):
+        table.entry(100, 0.5)
+
+
+def test_ttl_monotone_in_n_and_pe(table):
+    rows = table.rows()
+    ttl_by_n = [row[1][1e-6] for row in rows]
+    assert ttl_by_n == sorted(ttl_by_n)
+    for _, entries in rows:
+        assert entries[1e-12] >= entries[1e-6]
+
+
+def test_lookup_safe_because_conservative(table):
+    """The TTL returned for any org size achieves the target pe."""
+    from repro.analysis.pe import imperfect_dissemination_probability
+
+    ttl = table.lookup(73, 1e-6)
+    assert imperfect_dissemination_probability(73, 4, ttl) <= 1e-6
+
+
+def test_fout_validation():
+    with pytest.raises(ValueError):
+        TTLTable(fout=1)

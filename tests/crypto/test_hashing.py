@@ -1,0 +1,51 @@
+"""Unit tests for hashing helpers."""
+
+import pytest
+
+from repro.crypto.hashing import hash_bytes, hash_fields, hash_many
+
+
+def test_hash_bytes_is_sha256_hex():
+    digest = hash_bytes(b"abc")
+    assert digest == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+
+
+def test_hash_fields_deterministic():
+    assert hash_fields("a", 1, 2.5) == hash_fields("a", 1, 2.5)
+
+
+def test_hash_fields_framing_unambiguous():
+    assert hash_fields("ab", "c") != hash_fields("a", "bc")
+
+
+def test_hash_fields_type_sensitive():
+    assert hash_fields(1) != hash_fields("1")
+    assert hash_fields(True) != hash_fields(1)
+
+
+def test_hash_fields_handles_none_and_bytes():
+    assert hash_fields(None) != hash_fields(b"")
+    assert len(hash_fields(b"\x00\x01", None)) == 64
+
+
+def test_hash_fields_negative_ints():
+    assert hash_fields(-5) != hash_fields(5)
+
+
+def test_hash_fields_rejects_unhashable_types():
+    with pytest.raises(TypeError):
+        hash_fields(["list"])
+
+
+def test_hash_many_order_sensitive():
+    a = hash_fields("a")
+    b = hash_fields("b")
+    assert hash_many([a, b]) != hash_many([b, a])
+
+
+def test_hash_many_empty_is_stable():
+    assert hash_many([]) == hash_many([])
+
+
+def test_hash_fields_floats_distinct():
+    assert hash_fields(1.0) != hash_fields(1.5)

@@ -1,0 +1,49 @@
+"""Unit tests for simulated signatures."""
+
+from repro.crypto.identity import MembershipServiceProvider
+from repro.crypto.signature import SIGNATURE_SIZE_BYTES, sign, verify
+
+
+def make_identities():
+    msp = MembershipServiceProvider()
+    return msp.enroll("alice", "org0", "peer"), msp.enroll("bob", "org0", "peer")
+
+
+def test_sign_and_verify_roundtrip():
+    alice, _ = make_identities()
+    signature = sign(alice, "digest-1")
+    assert verify(alice, "digest-1", signature)
+
+
+def test_wrong_digest_fails():
+    alice, _ = make_identities()
+    signature = sign(alice, "digest-1")
+    assert not verify(alice, "digest-2", signature)
+
+
+def test_wrong_signer_fails():
+    alice, bob = make_identities()
+    signature = sign(alice, "digest-1")
+    assert not verify(bob, "digest-1", signature)
+
+
+def test_forged_mac_fails():
+    alice, _ = make_identities()
+    signature = sign(alice, "digest-1")
+    forged = type(signature)(signer=signature.signer, digest=signature.digest, mac="0" * 64)
+    assert not verify(alice, "digest-1", forged)
+
+
+def test_signature_deterministic():
+    alice, _ = make_identities()
+    assert sign(alice, "d") == sign(alice, "d")
+
+
+def test_signature_size_constant():
+    alice, _ = make_identities()
+    assert sign(alice, "d").size_bytes == SIGNATURE_SIZE_BYTES
+
+
+def test_signatures_differ_across_signers():
+    alice, bob = make_identities()
+    assert sign(alice, "d").mac != sign(bob, "d").mac

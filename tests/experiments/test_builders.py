@@ -1,0 +1,100 @@
+"""Unit tests for network assembly."""
+
+import pytest
+
+from repro.experiments.builders import build_network, gossip_factory
+from repro.gossip.config import BackgroundTrafficConfig, EnhancedGossipConfig, OriginalGossipConfig
+from repro.gossip.enhanced import EnhancedGossip
+from repro.gossip.original import OriginalGossip
+
+
+def test_single_org_layout():
+    net = build_network(n_peers=6, gossip=OriginalGossipConfig(), seed=1)
+    assert net.n_peers == 6
+    assert net.org_members == {"org0": [f"peer-{i}" for i in range(6)]}
+    assert net.leaders == {"org0": "peer-0"}
+    assert net.leader_of("org0").is_leader
+    assert net.regular_peers() == [f"peer-{i}" for i in range(1, 6)]
+
+
+def test_multi_org_layout():
+    net = build_network(n_peers=6, gossip=OriginalGossipConfig(), organizations=2)
+    assert set(net.org_members) == {"org0", "org1"}
+    assert len(net.org_members["org0"]) == 3
+    assert net.leaders["org1"] == "peer-1"
+    assert net.orderer.org_leaders == net.leaders
+
+
+def test_gossip_factory_dispatch():
+    assert isinstance(
+        gossip_factory(OriginalGossipConfig())(_FakePeer(), _fake_view()), OriginalGossip
+    )
+    assert isinstance(
+        gossip_factory(EnhancedGossipConfig())(_FakePeer(), _fake_view()), EnhancedGossip
+    )
+    with pytest.raises(TypeError):
+        gossip_factory("nonsense")
+
+
+def test_peers_enrolled_in_msp():
+    net = build_network(n_peers=4, gossip=OriginalGossipConfig())
+    assert len(net.msp) == 5  # 4 peers + orderer
+    assert net.msp.lookup("peer-2").organization == "org0"
+
+
+def test_background_attached_when_configured():
+    net = build_network(
+        n_peers=3, gossip=OriginalGossipConfig(), background=BackgroundTrafficConfig()
+    )
+    assert all(peer.background is not None for peer in net.peers.values())
+    bare = build_network(n_peers=3, gossip=OriginalGossipConfig())
+    assert all(peer.background is None for peer in bare.peers.values())
+
+
+def test_run_until_predicate():
+    net = build_network(n_peers=3, gossip=OriginalGossipConfig())
+    net.start()
+    reached = net.run_until(lambda: net.sim.now >= 3.0, step=1.0, max_time=10.0)
+    assert reached >= 3.0
+
+
+def test_run_until_timeout():
+    net = build_network(n_peers=3, gossip=OriginalGossipConfig())
+    net.start()
+    with pytest.raises(TimeoutError):
+        net.run_until(lambda: False, step=1.0, max_time=3.0)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        build_network(n_peers=1, gossip=OriginalGossipConfig())
+    with pytest.raises(ValueError):
+        build_network(n_peers=4, gossip=OriginalGossipConfig(), organizations=0)
+
+
+def test_seed_determinism():
+    def run_once():
+        net = build_network(n_peers=10, gossip=EnhancedGossipConfig(), seed=9)
+        net.start()
+        from tests.conftest import make_transactions
+
+        net.orderer.emit_block(make_transactions(2))
+        net.sim.run(until=5.0)
+        return sorted(net.tracker.block_latencies(0).items())
+
+    assert run_once() == run_once()
+
+
+class _FakePeer:
+    name = "peer-x"
+
+    def rng(self, purpose):
+        import random
+
+        return random.Random(0)
+
+
+def _fake_view():
+    from repro.gossip.view import OrganizationView
+
+    return OrganizationView("peer-x", ["peer-x", "peer-y"], ["peer-x", "peer-y"], "peer-x")

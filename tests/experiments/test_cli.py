@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "table2" in out and "scaling" in out
+
+
+def test_analysis_command(capsys):
+    assert main(["analysis"]) == 0
+    out = capsys.readouterr().out
+    assert "94" in out  # infect-and-die mean
+    assert "pe <=" in out
+
+
+def test_unknown_figure_rejected(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figure_defaults():
+    args = build_parser().parse_args(["figure", "fig7"])
+    assert args.figure_id == "fig7"
+    assert args.full is False
+    assert args.seed == 1
+
+
+def test_table2_arguments():
+    args = build_parser().parse_args(["table2", "--repetitions", "5", "--full"])
+    assert args.repetitions == 5
+    assert args.full is True
+
+
+def test_scaling_arguments():
+    args = build_parser().parse_args(["scaling", "--sizes", "10", "20", "--blocks", "3"])
+    assert args.sizes == [10, 20]
+    assert args.blocks == 3

@@ -1,0 +1,85 @@
+"""Tests for figure configuration factories and series extraction."""
+
+import pytest
+
+from repro.experiments.dissemination import DisseminationConfig, run_dissemination
+from repro.experiments.figures import (
+    BANDWIDTH_FIGURES,
+    FIGURE_CONFIGS,
+    LATENCY_FIGURES,
+    bandwidth_figure,
+    block_level_figure,
+    config_enhanced_f2,
+    config_enhanced_f4,
+    config_leader_fanout_ablation,
+    config_no_digest_ablation,
+    config_original,
+    peer_level_figure,
+)
+from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
+
+
+def test_registry_covers_all_eleven_figures():
+    assert set(FIGURE_CONFIGS) == {f"fig{i}" for i in range(4, 15)}
+    assert set(LATENCY_FIGURES) | set(BANDWIDTH_FIGURES) == set(FIGURE_CONFIGS)
+
+
+def test_original_config_uses_fabric_defaults():
+    config = config_original()
+    assert isinstance(config.gossip, OriginalGossipConfig)
+    assert config.gossip.fout == 3
+    assert config.gossip.t_pull == 4.0
+
+
+def test_enhanced_configs_use_paper_parameters():
+    f4 = config_enhanced_f4().gossip
+    assert (f4.fout, f4.ttl, f4.ttl_direct, f4.leader_fanout) == (4, 9, 2, 1)
+    f2 = config_enhanced_f2().gossip
+    assert (f2.fout, f2.ttl, f2.ttl_direct) == (2, 19, 3)
+
+
+def test_ablation_configs():
+    fig10 = config_leader_fanout_ablation().gossip
+    assert fig10.leader_fanout == fig10.fout == 4
+    fig11 = config_no_digest_ablation().gossip
+    assert fig11.use_digests is False
+
+
+def test_full_flag_scales_blocks():
+    assert config_original(full=True).blocks == 1000
+    assert config_original(full=False).blocks < 1000
+
+
+def test_background_toggle():
+    assert config_original(with_background=True).background is not None
+    assert config_original(with_background=False).background is None
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_dissemination(
+        DisseminationConfig(
+            gossip=EnhancedGossipConfig.paper_f4(), n_peers=10, blocks=3,
+            tx_per_block=2, block_period=0.5, seed=4,
+        )
+    )
+
+
+def test_peer_level_figure_extraction(tiny_result):
+    figure = peer_level_figure(tiny_result, "fig7")
+    assert set(figure.curves) == {"fastest", "median", "slowest"}
+    assert figure.max_latency() > 0
+    for points in figure.curves.values():
+        assert all(0 < p.fraction < 1 for p in points)
+
+
+def test_block_level_figure_extraction(tiny_result):
+    figure = block_level_figure(tiny_result, "fig8")
+    assert all(len(points) == 10 for points in figure.curves.values())
+
+
+def test_bandwidth_figure_extraction(tiny_result):
+    figure = bandwidth_figure(tiny_result, "fig9")
+    assert figure.interval == 10.0
+    assert len(figure.leader_series) == len(figure.regular_series)
+    assert figure.leader_average >= 0

@@ -1,0 +1,57 @@
+"""End-to-end test of the figure registry runner at miniature scale."""
+
+import pytest
+
+import repro.experiments.figures as figures_module
+from repro.experiments.dissemination import DisseminationConfig
+from repro.experiments.figures import BandwidthFigure, LatencyFigure, run_figure
+
+
+@pytest.fixture(autouse=True)
+def tiny_configs(monkeypatch):
+    """Shrink every figure config so run_figure() is test-sized."""
+    original = dict(figures_module.FIGURE_CONFIGS)
+
+    def shrink(factory):
+        def wrapped(full=False, seed=1, with_background=False):
+            config = factory(full=full, seed=seed, with_background=with_background)
+            return DisseminationConfig(
+                gossip=config.gossip,
+                n_peers=12,
+                blocks=3,
+                tx_per_block=3,
+                block_period=0.5,
+                seed=seed,
+                idle_tail=2.0,
+                background=config.background,
+            )
+
+        return wrapped
+
+    for figure_id, factory in original.items():
+        monkeypatch.setitem(figures_module.FIGURE_CONFIGS, figure_id, shrink(factory))
+
+
+def test_run_latency_figure():
+    figure, result = run_figure("fig4")
+    assert isinstance(figure, LatencyFigure)
+    assert set(figure.curves) == {"fastest", "median", "slowest"}
+    assert result.coverage_complete()
+
+
+def test_run_block_level_figure():
+    figure, _ = run_figure("fig8")
+    assert isinstance(figure, LatencyFigure)
+    assert all(len(points) == 12 for points in figure.curves.values())
+
+
+def test_run_bandwidth_figure():
+    figure, result = run_figure("fig9")
+    assert isinstance(figure, BandwidthFigure)
+    assert figure.regular_average > 0
+    assert result.config.background is not None  # bandwidth figures need it
+
+
+def test_unknown_figure_raises():
+    with pytest.raises(KeyError):
+        run_figure("fig99")

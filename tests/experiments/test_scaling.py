@@ -1,0 +1,42 @@
+"""Tests for the scaling study (small sweep)."""
+
+import pytest
+
+from repro.experiments.scaling import render_scaling_study, run_scaling_study
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_scaling_study(sizes=(15, 30), blocks=4, seed=2)
+
+
+def test_one_point_per_size(points):
+    assert [point.n_peers for point in points] == [15, 30]
+
+
+def test_ttl_from_analysis_achieves_target(points):
+    from repro.analysis.pe import imperfect_dissemination_probability
+
+    for point in points:
+        assert point.pe_bound <= 1e-6
+        assert point.pe_bound == imperfect_dissemination_probability(
+            point.n_peers, 4, point.ttl
+        )
+
+
+def test_block_copies_scale_linearly(points):
+    """Full-block transmissions stay ~n + o(n): per-peer ratio near 1."""
+    for point in points:
+        assert 0.9 <= point.pushes_per_peer <= 1.6
+
+
+def test_latency_grows_slowly_with_n(points):
+    """Epidemic depth is logarithmic: doubling n must not double latency."""
+    small, large = points
+    assert large.median_latency < 2.0 * small.median_latency
+
+
+def test_render_contains_all_rows(points):
+    text = render_scaling_study(points)
+    assert "15" in text and "30" in text
+    assert text.count("\n") >= 3

@@ -1,0 +1,33 @@
+"""Tests for the Table II harness (structure; tiny workloads)."""
+
+from repro.experiments.tables import PAPER_BLOCK_PERIODS, TableTwoRow, render_table2
+
+
+def test_paper_block_periods():
+    assert PAPER_BLOCK_PERIODS == (2.0, 1.5, 1.0, 0.75)
+
+
+def test_row_difference_sign():
+    row = TableTwoRow(
+        block_period=2.0, tx_per_block=10, validation_time=0.5,
+        conflicts_original=800, conflicts_enhanced=664,
+    )
+    assert row.difference < 0
+    assert abs(row.difference + 0.17) < 0.01
+
+
+def test_row_difference_zero_guard():
+    row = TableTwoRow(1.0, 5, 0.25, 0, 0)
+    assert row.difference == 0.0
+
+
+def test_render_table_layout():
+    rows = [
+        TableTwoRow(2.0, 10, 0.5, 803, 664),
+        TableTwoRow(0.75, 4.5, 0.19, 823, 527),
+    ]
+    text = render_table2(rows)
+    assert "Table II" in text
+    assert "-17%" in text
+    assert "-36%" in text
+    assert text.count("\n") >= 4

@@ -1,0 +1,142 @@
+"""Unit tests for the ordering service (block cutting, consensus delay)."""
+
+import pytest
+
+from repro.fabric.config import OrdererConfig
+from repro.fabric.messages import OrdererBlock, SubmitTransaction
+from repro.fabric.orderer import OrderingService
+from repro.ledger.rwset import ReadWriteSet
+from repro.ledger.transaction import TransactionProposal
+
+from tests.conftest import make_transactions
+
+
+def make_orderer(sim, network, streams, max_tx=3, timeout=2.0, consensus=0.0, leaders=None):
+    config = OrdererConfig(max_tx_per_block=max_tx, batch_timeout=timeout, consensus_delay=consensus)
+    return OrderingService(sim, network, streams, config=config, org_leaders=leaders or {})
+
+
+def leader_inbox(network, name="leader"):
+    inbox = []
+    network.register(name, lambda src, msg: inbox.append(msg))
+    return inbox
+
+
+def proposal(tx_id="t"):
+    return TransactionProposal(
+        tx_id=tx_id, client="c", chaincode_id="cc", args=(), rwset=ReadWriteSet()
+    )
+
+
+def test_block_cut_at_max_size(sim, network, streams):
+    inbox = leader_inbox(network)
+    orderer = make_orderer(sim, network, streams, max_tx=3, leaders={"org0": "leader"})
+    for index in range(3):
+        orderer.submit(proposal(f"t{index}"))
+    sim.run()
+    assert orderer.blocks_cut == 1
+    assert len(inbox) == 1
+    assert inbox[0].block.tx_count == 3
+
+
+def test_block_cut_at_timeout(sim, network, streams):
+    inbox = leader_inbox(network)
+    orderer = make_orderer(sim, network, streams, max_tx=50, timeout=2.0, leaders={"org0": "leader"})
+    orderer.submit(proposal())
+    sim.run(until=1.9)
+    assert orderer.blocks_cut == 0
+    sim.run(until=2.1)
+    assert orderer.blocks_cut == 1
+    assert inbox[0].block.tx_count == 1
+
+
+def test_timeout_counts_from_first_tx_of_batch(sim, network, streams):
+    leader_inbox(network)
+    orderer = make_orderer(sim, network, streams, max_tx=50, timeout=2.0)
+    sim.schedule(1.0, orderer.submit, proposal("t0"))
+    sim.schedule(2.5, orderer.submit, proposal("t1"))
+    sim.run(until=2.9)
+    assert orderer.blocks_cut == 0  # timer expires at 1.0 + 2.0 = 3.0
+    sim.run(until=3.1)
+    assert orderer.blocks_cut == 1
+
+
+def test_size_cut_cancels_timer(sim, network, streams):
+    leader_inbox(network)
+    orderer = make_orderer(sim, network, streams, max_tx=2, timeout=2.0)
+    orderer.submit(proposal("t0"))
+    orderer.submit(proposal("t1"))  # size cut at t=0
+    sim.run(until=5.0)
+    assert orderer.blocks_cut == 1  # timer must not cut an empty block
+
+
+def test_blocks_linked_in_sequence(sim, network, streams):
+    inbox = leader_inbox(network)
+    orderer = make_orderer(sim, network, streams, max_tx=1, leaders={"org0": "leader"})
+    for index in range(3):
+        orderer.submit(proposal(f"t{index}"))
+    sim.run()
+    numbers = [msg.block.number for msg in inbox]
+    assert numbers == [0, 1, 2]
+    assert inbox[1].block.header.previous_hash == inbox[0].block.block_hash
+
+
+def test_consensus_delay_before_delivery(sim, network, streams):
+    times = []
+    network.register("leader", lambda src, msg: times.append(sim.now))
+    orderer = make_orderer(sim, network, streams, max_tx=1, consensus=0.5, leaders={"org0": "leader"})
+    orderer.submit(proposal())
+    sim.run()
+    assert times[0] >= 0.5
+
+
+def test_multi_org_leaders_each_receive_block(sim, network, streams):
+    inbox_a = leader_inbox(network, "leader-a")
+    inbox_b = leader_inbox(network, "leader-b")
+    orderer = make_orderer(
+        sim, network, streams, max_tx=1, leaders={"org0": "leader-a", "org1": "leader-b"}
+    )
+    orderer.submit(proposal())
+    sim.run()
+    assert len(inbox_a) == len(inbox_b) == 1
+    assert inbox_a[0].block.number == inbox_b[0].block.number == 0
+
+
+def test_submit_via_network_message(sim, network, streams):
+    leader_inbox(network)
+    network.register("client", lambda src, msg: None)
+    orderer = make_orderer(sim, network, streams, max_tx=1, leaders={"org0": "leader"})
+    network.send("client", orderer.name, SubmitTransaction(proposal()))
+    sim.run()
+    assert orderer.transactions_ordered == 1
+    assert orderer.blocks_cut == 1
+
+
+def test_emit_block_direct_driver(sim, network, streams):
+    inbox = leader_inbox(network)
+    orderer = make_orderer(sim, network, streams, leaders={"org0": "leader"})
+    block = orderer.emit_block(make_transactions(5))
+    sim.run()
+    assert block.tx_count == 5
+    assert len(inbox) == 1
+    second = orderer.emit_block(make_transactions(2))
+    assert second.number == 1
+    assert second.header.previous_hash == block.block_hash
+
+
+def test_orderer_never_validates(sim, network, streams):
+    """Orderers accept proposals without endorsements (paper §II-B)."""
+    leader_inbox(network)
+    orderer = make_orderer(sim, network, streams, max_tx=1, leaders={"org0": "leader"})
+    bogus = proposal()
+    assert bogus.endorsements == []
+    orderer.submit(bogus)
+    sim.run()
+    assert orderer.blocks_cut == 1
+
+
+def test_orderer_config_validation():
+    with pytest.raises(ValueError):
+        OrdererConfig(max_tx_per_block=0)
+    with pytest.raises(ValueError):
+        OrdererConfig(batch_timeout=0)

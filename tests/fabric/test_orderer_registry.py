@@ -1,0 +1,63 @@
+"""Tests for orderer routing through the dynamic leader registry."""
+
+from repro.fabric.config import OrdererConfig
+from repro.fabric.orderer import OrderingService
+from repro.gossip.leader_election import LeaderRegistry
+
+from tests.conftest import make_transactions
+
+
+def collect(network, name):
+    inbox = []
+    network.register(name, lambda src, msg: inbox.append(msg))
+    return inbox
+
+
+def test_registry_overrides_static_leaders(sim, network, streams):
+    old = collect(network, "old-leader")
+    new = collect(network, "new-leader")
+    orderer = OrderingService(
+        sim, network, streams,
+        config=OrdererConfig(consensus_delay=0.0),
+        org_leaders={"org0": "old-leader"},
+    )
+    registry = LeaderRegistry({"org0": "old-leader"})
+    orderer.use_leader_registry(registry)
+    orderer.emit_block(make_transactions(1))
+    sim.run(until=1.0)
+    assert len(old) == 1 and len(new) == 0
+    registry.claim("org0", "new-leader")
+    orderer.emit_block(make_transactions(1))
+    sim.run(until=2.0)
+    assert len(old) == 1
+    assert len(new) == 1
+
+
+def test_without_registry_static_map_used(sim, network, streams):
+    leader = collect(network, "leader")
+    orderer = OrderingService(
+        sim, network, streams,
+        config=OrdererConfig(consensus_delay=0.0),
+        org_leaders={"org0": "leader"},
+    )
+    orderer.emit_block(make_transactions(1))
+    sim.run(until=1.0)
+    assert len(leader) == 1
+
+
+def test_registry_snapshot_taken_at_finalize_time(sim, network, streams):
+    """A leader change during the consensus delay applies to the block."""
+    old = collect(network, "old-leader")
+    new = collect(network, "new-leader")
+    orderer = OrderingService(
+        sim, network, streams,
+        config=OrdererConfig(consensus_delay=1.0),
+        org_leaders={"org0": "old-leader"},
+    )
+    registry = LeaderRegistry({"org0": "old-leader"})
+    orderer.use_leader_registry(registry)
+    orderer.emit_block(make_transactions(1))
+    sim.schedule(0.5, registry.claim, "org0", "new-leader")
+    sim.run(until=2.0)
+    assert len(old) == 0
+    assert len(new) == 1

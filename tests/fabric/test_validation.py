@@ -1,0 +1,127 @@
+"""Unit tests for block validation (policy + MVCC, earliest-writer-wins)."""
+
+from repro.crypto.identity import MembershipServiceProvider
+from repro.fabric.chaincode import CounterIncrementChaincode
+from repro.fabric.endorsement import EndorsementPolicy
+from repro.fabric.validation import validate_block, validate_transaction
+from repro.ledger.block import Block, GENESIS_PREVIOUS_HASH
+from repro.ledger.kvstore import KeyValueStore, Version
+from repro.ledger.transaction import Endorsement, TransactionProposal, ValidationCode
+
+MSP = MembershipServiceProvider()
+ENDORSER = MSP.enroll("endorser-0", "org0", "peer")
+POLICY = EndorsementPolicy.any_single()
+
+
+def endorsed_proposal(store, key="c1", tx_id="t"):
+    """A counter increment simulated over ``store`` and endorsed."""
+    rwset = CounterIncrementChaincode().simulate(store, (key,))
+    return TransactionProposal(
+        tx_id=tx_id, client="c", chaincode_id="counter-increment", args=(key,),
+        rwset=rwset, endorsements=[Endorsement.create(ENDORSER, rwset)],
+    )
+
+
+def test_valid_transaction():
+    store = KeyValueStore()
+    proposal = endorsed_proposal(store)
+    assert validate_transaction(proposal, store, POLICY) is ValidationCode.VALID
+
+
+def test_missing_endorsements_bad_proposal():
+    store = KeyValueStore()
+    proposal = endorsed_proposal(store)
+    proposal.endorsements.clear()
+    assert validate_transaction(proposal, store, POLICY) is ValidationCode.BAD_PROPOSAL
+
+
+def test_policy_failure():
+    store = KeyValueStore()
+    proposal = endorsed_proposal(store)
+    strict = EndorsementPolicy.specific(["someone-else"])
+    assert validate_transaction(proposal, store, strict) is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+
+
+def test_mvcc_conflict_on_stale_read():
+    store = KeyValueStore()
+    proposal = endorsed_proposal(store)  # simulated over empty state
+    store.put("c1", 5, Version(0, 0))  # state moved on
+    assert validate_transaction(proposal, store, POLICY) is ValidationCode.MVCC_READ_CONFLICT
+
+
+def test_block_validation_applies_valid_writes():
+    store = KeyValueStore()
+    proposal = endorsed_proposal(store, tx_id="t0")
+    block = Block.create(0, GENESIS_PREVIOUS_HASH, [proposal])
+    result = validate_block(block, store, POLICY)
+    assert result.valid_count == 1
+    assert store.get_value("c1") == 1
+    assert store.get_version("c1") == Version(0, 0)
+
+
+def test_earliest_writer_wins_within_block():
+    """Two increments over the same base value in one block: the first is
+    VALID, the second fails MVCC (paper §II-C)."""
+    store = KeyValueStore()
+    first = endorsed_proposal(store, tx_id="t0")
+    second = endorsed_proposal(store, tx_id="t1")  # same snapshot
+    block = Block.create(0, GENESIS_PREVIOUS_HASH, [first, second])
+    result = validate_block(block, store, POLICY)
+    assert result.codes == [ValidationCode.VALID, ValidationCode.MVCC_READ_CONFLICT]
+    assert store.get_value("c1") == 1  # second increment lost
+
+
+def test_conflict_across_blocks():
+    store = KeyValueStore()
+    stale = endorsed_proposal(store, tx_id="t0")
+    block0 = Block.create(0, GENESIS_PREVIOUS_HASH, [stale])
+    validate_block(block0, store, POLICY)
+    # A proposal endorsed before block0 committed, ordered in block1.
+    stale_again = TransactionProposal(
+        tx_id="t1", client="c", chaincode_id="counter-increment", args=("c1",),
+        rwset=stale.rwset, endorsements=[Endorsement.create(ENDORSER, stale.rwset)],
+    )
+    block1 = Block.create(1, block0.block_hash, [stale_again])
+    result = validate_block(block1, store, POLICY)
+    assert result.codes == [ValidationCode.MVCC_READ_CONFLICT]
+
+
+def test_sequential_increments_all_valid_when_fresh():
+    store = KeyValueStore()
+    previous = GENESIS_PREVIOUS_HASH
+    for number in range(3):
+        proposal = endorsed_proposal(store, tx_id=f"t{number}")
+        block = Block.create(number, previous, [proposal])
+        result = validate_block(block, store, POLICY)
+        assert result.valid_count == 1
+        previous = block.block_hash
+    assert store.get_value("c1") == 3
+
+
+def test_version_assigned_is_block_and_tx_index():
+    store = KeyValueStore()
+    proposals = [endorsed_proposal(store, key=f"k{i}", tx_id=f"t{i}") for i in range(3)]
+    block = Block.create(7, GENESIS_PREVIOUS_HASH, proposals)
+    validate_block(block, store, POLICY)
+    assert store.get_version("k2") == Version(7, 2)
+
+
+def test_invalid_transactions_do_not_write():
+    store = KeyValueStore()
+    proposal = endorsed_proposal(store)
+    store.put("c1", 50, Version(0, 0))
+    block = Block.create(1, GENESIS_PREVIOUS_HASH, [proposal])
+    validate_block(block, store, POLICY)
+    assert store.get_value("c1") == 50  # stale write rejected
+
+
+def test_result_counters_and_breakdown():
+    store = KeyValueStore()
+    good = endorsed_proposal(store, tx_id="t0")
+    bad = endorsed_proposal(store, tx_id="t1")
+    result = validate_block(Block.create(0, GENESIS_PREVIOUS_HASH, [good, bad]), store, POLICY)
+    assert result.valid_count == 1
+    assert result.invalid_count == 1
+    counts = result.counts_by_code()
+    assert counts[ValidationCode.VALID] == 1
+    assert counts[ValidationCode.MVCC_READ_CONFLICT] == 1

@@ -1,0 +1,42 @@
+"""Unit tests for calibrated background traffic."""
+
+import pytest
+
+from repro.gossip.background import BackgroundTraffic
+from repro.gossip.config import BackgroundTrafficConfig
+
+from tests.conftest import FakeHost, make_view
+
+
+def test_emits_at_configured_rate():
+    host = FakeHost("p0")
+    config = BackgroundTrafficConfig(period=1.0, fanout=2, message_size=1000)
+    traffic = BackgroundTraffic(host, make_view("p0", org_size=6), config)
+    traffic.start()
+    host.run(until=5.0)
+    assert 8 <= traffic.messages_sent <= 12  # ~2 per second for ~5 s
+
+
+def test_disabled_config_emits_nothing():
+    host = FakeHost("p0")
+    config = BackgroundTrafficConfig(enabled=False)
+    traffic = BackgroundTraffic(host, make_view("p0"), config)
+    traffic.start()
+    host.run(until=5.0)
+    assert traffic.messages_sent == 0
+    assert host.timers == []
+
+
+def test_per_peer_tx_rate_calibration():
+    config = BackgroundTrafficConfig(period=1.0, fanout=2, message_size=100_000)
+    # 0.2 MB/s transmitted => ~0.4 MB/s rx+tx per peer network-wide.
+    assert config.per_peer_tx_rate == pytest.approx(200_000.0)
+    assert BackgroundTrafficConfig(enabled=False).per_peer_tx_rate == 0.0
+
+
+def test_message_sizes_match_config():
+    host = FakeHost("p0")
+    config = BackgroundTrafficConfig(period=1.0, fanout=1, message_size=12_345)
+    BackgroundTraffic(host, make_view("p0"), config).start()
+    host.run(until=2.0)
+    assert all(msg.payload_size() == 12_345 for _, msg in host.sent)

@@ -1,0 +1,83 @@
+"""Property-based tests (hypothesis) on the gossip protocol components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gossip.messages import BlockPush, PushDigest
+from repro.gossip.push_infect_contagion import InfectUponContagionPush
+from repro.gossip.push_infect_die import InfectAndDiePush
+
+from tests.conftest import FakeHost, make_chain, make_view
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fout=st.integers(min_value=1, max_value=6),
+    ttl=st.integers(min_value=1, max_value=12),
+    counters=st.lists(st.integers(min_value=0, max_value=14), min_size=1, max_size=20),
+)
+def test_iuc_never_forwards_beyond_ttl(fout, ttl, counters):
+    host = FakeHost("p0")
+    view = make_view("p0", org_size=10)
+    push = InfectUponContagionPush(
+        host, view, fout=fout, ttl=ttl, ttl_direct=ttl, use_digests=True
+    )
+    block = make_chain([1])[0]
+    host.deliver_block(block, "push")
+    for counter in counters:
+        push.on_pair(block, counter)
+    for _, message in host.sent:
+        assert isinstance(message, (BlockPush, PushDigest))
+        assert message.counter <= ttl
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    counters=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=30),
+)
+def test_iuc_forwards_each_pair_at_most_once(counters):
+    host = FakeHost("p0")
+    view = make_view("p0", org_size=12)
+    push = InfectUponContagionPush(host, view, fout=3, ttl=9, ttl_direct=9)
+    block = make_chain([1])[0]
+    host.deliver_block(block, "push")
+    for counter in counters:
+        push.on_pair(block, counter)
+    # Each distinct received counter c <= 8 forwards exactly fout messages
+    # with counter c+1; duplicates forward nothing.
+    distinct = {c for c in counters if c < 9}
+    sent_counters = [message.counter for _, message in host.sent]
+    for c in distinct:
+        assert sent_counters.count(c + 1) == 3
+    assert len(sent_counters) == 3 * len(distinct)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fout=st.integers(min_value=1, max_value=8),
+    org_size=st.integers(min_value=2, max_value=15),
+)
+def test_infect_and_die_targets_distinct_and_not_self(fout, org_size):
+    host = FakeHost("p0")
+    view = make_view("p0", org_size=org_size)
+    push = InfectAndDiePush(host, view, fout=fout, t_push=0.0)
+    block = make_chain([1])[0]
+    push.on_first_reception(block)
+    targets = [dst for dst, _ in host.sent]
+    assert "p0" not in targets
+    assert len(set(targets)) == len(targets)
+    assert len(targets) == min(fout, org_size - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds=st.lists(st.integers(min_value=0, max_value=10_000), min_size=2, max_size=6))
+def test_target_selection_deterministic_per_seed(seeds):
+    def targets_for(seed):
+        host = FakeHost("p0", seed=seed)
+        view = make_view("p0", org_size=10)
+        push = InfectAndDiePush(host, view, fout=3, t_push=0.0)
+        push.on_first_reception(make_chain([1])[0])
+        return tuple(dst for dst, _ in host.sent)
+
+    for seed in seeds:
+        assert targets_for(seed) == targets_for(seed)

@@ -1,0 +1,115 @@
+"""Unit/integration tests for dynamic leader election."""
+
+import pytest
+
+from repro.experiments.builders import build_network
+from repro.faults.injectors import CrashSchedule
+from repro.gossip.leader_election import (
+    LeaderElection,
+    LeaderRegistry,
+    LeadershipHeartbeat,
+)
+from repro.gossip.config import EnhancedGossipConfig
+
+from tests.conftest import FakeHost, make_transactions, make_view
+
+
+def make_election(name="p0", org_size=4, registry=None, **kwargs):
+    host = FakeHost(name)
+    view = make_view(name, org_size=org_size)
+    registry = registry or LeaderRegistry()
+    election = LeaderElection(host, view, org="org0", registry=registry, **kwargs)
+    return host, election, registry
+
+
+def test_smallest_id_claims_immediately():
+    host, election, registry = make_election("p0")
+    election.start()
+    assert election.is_leader
+    assert registry.leader_of("org0") == "p0"
+    heartbeats = [msg for _, msg in host.sent if isinstance(msg, LeadershipHeartbeat)]
+    assert len(heartbeats) == 3  # one per other peer
+
+
+def test_non_smallest_waits():
+    host, election, registry = make_election("p2")
+    election.start()
+    assert not election.is_leader
+    assert registry.leader_of("org0") is None
+
+
+def test_follower_claims_after_silence():
+    host, election, registry = make_election(
+        "p1", heartbeat_period=1.0, election_timeout=3.0
+    )
+    election.start()
+    host.run(until=4.5)  # no heartbeat from p0 ever arrives
+    assert election.is_leader
+    assert registry.leader_of("org0") == "p1"
+
+
+def test_heartbeats_suppress_takeover():
+    host, election, registry = make_election(
+        "p1", heartbeat_period=1.0, election_timeout=3.0
+    )
+    election.start()
+    # p0 heartbeats every second.
+    from repro.simulation.timers import PeriodicTimer
+
+    PeriodicTimer(host.sim, 1.0, lambda: election.on_heartbeat("p0", LeadershipHeartbeat(1)))
+    host.run(until=10.0)
+    assert not election.is_leader
+
+
+def test_leader_yields_to_better_ranked_return():
+    host, election, registry = make_election("p1", election_timeout=2.0, heartbeat_period=0.5)
+    election.start()
+    host.run(until=3.0)
+    assert election.is_leader
+    election.on_heartbeat("p0", LeadershipHeartbeat(5))
+    assert not election.is_leader
+
+
+def test_registry_notifies_listeners():
+    registry = LeaderRegistry({"org0": "p0"})
+    changes = []
+    registry.subscribe(lambda org, leader: changes.append((org, leader)))
+    registry.claim("org0", "p0")  # no change: no event
+    registry.claim("org0", "p3")
+    assert changes == [("org0", "p3")]
+    assert registry.snapshot() == {"org0": "p3"}
+
+
+def test_timeout_must_exceed_period():
+    with pytest.raises(ValueError):
+        make_election("p0", heartbeat_period=2.0, election_timeout=1.0)
+
+
+def test_failover_end_to_end():
+    """Leader crashes; a new leader is elected; block flow resumes."""
+    net = build_network(n_peers=8, gossip=EnhancedGossipConfig.paper_f4(), seed=6)
+    registry = LeaderRegistry(dict(net.leaders))
+    for peer in net.peers.values():
+        peer.attach_leader_election(registry, heartbeat_period=0.5, election_timeout=1.5)
+    net.orderer.use_leader_registry(registry)
+    net.start()
+    net.sim.run(until=1.0)
+    assert net.peers["peer-0"].is_leader
+
+    CrashSchedule(net.peers["peer-0"], crash_at=2.0).arm(net.sim)
+    transactions = make_transactions(2)
+    # Blocks before and well after the crash (leaving time for election).
+    for when in (1.5, 5.0, 6.0):
+        net.sim.schedule_at(when, net.orderer.emit_block, transactions)
+    survivors = [p for name, p in net.peers.items() if name != "peer-0"]
+    net.run_until(
+        lambda: all(p.ledger_height >= 3 for p in survivors),
+        step=1.0,
+        max_time=60.0,
+    )
+    assert registry.leader_of("org0") == "peer-1"
+    assert net.peers["peer-1"].is_leader
+    # The blocks sent after the crash were routed to the new leader.
+    assert net.peers["peer-1"].blocks_received_via["orderer"] >= 2
+    for peer in survivors:
+        assert peer.blockchain.verify_committed_chain()

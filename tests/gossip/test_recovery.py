@@ -1,0 +1,143 @@
+"""Unit tests for the recovery (anti-entropy) component."""
+
+from repro.gossip.messages import RecoveryRequest, RecoveryResponse, StateInfo
+from repro.gossip.recovery import RecoveryComponent
+
+from tests.conftest import FakeHost, make_chain, make_view
+
+
+def make_recovery(t_recovery=10.0, t_state_info=4.0, fanout=2, batch_max=3, org_size=6):
+    host = FakeHost("p0")
+    view = make_view("p0", org_size=org_size)
+    recovery = RecoveryComponent(
+        host, view,
+        t_recovery=t_recovery, t_state_info=t_state_info,
+        state_info_fanout=fanout, batch_max=batch_max,
+        deliver=host.deliver_block,
+    )
+    return host, recovery
+
+
+def test_state_info_broadcast_periodically():
+    host, recovery = make_recovery(t_state_info=4.0, fanout=2)
+    host.height = 7
+    recovery.start()
+    host.run(until=8.5)
+    infos = [msg for _, msg in host.sent if isinstance(msg, StateInfo)]
+    assert len(infos) >= 4  # at least two rounds of fanout 2
+    assert all(msg.height == 7 for msg in infos)
+
+
+def test_state_info_tracks_max_height_per_peer():
+    host, recovery = make_recovery()
+    recovery.on_state_info("p3", StateInfo(5))
+    recovery.on_state_info("p3", StateInfo(3))  # stale info ignored
+    recovery.on_state_info("p4", StateInfo(8))
+    assert recovery.known_heights == {"p3": 5, "p4": 8}
+
+
+def test_check_requests_when_behind():
+    host, recovery = make_recovery(batch_max=3)
+    host.height = 2
+    recovery.on_state_info("p3", StateInfo(10))
+    recovery._check()
+    requests = [(dst, msg) for dst, msg in host.sent if isinstance(msg, RecoveryRequest)]
+    assert len(requests) == 1
+    dst, request = requests[0]
+    assert dst == "p3"
+    assert request.from_number == 2
+    assert request.to_number == 5  # clamped by batch_max
+
+
+def test_check_silent_when_up_to_date():
+    host, recovery = make_recovery()
+    host.height = 10
+    recovery.on_state_info("p3", StateInfo(10))
+    recovery._check()
+    assert not any(isinstance(msg, RecoveryRequest) for _, msg in host.sent)
+
+
+def test_check_silent_without_observations():
+    host, recovery = make_recovery()
+    recovery._check()
+    assert host.sent == []
+
+
+def test_check_targets_one_of_most_advanced_peers():
+    host, recovery = make_recovery()
+    host.height = 0
+    recovery.on_state_info("p3", StateInfo(5))
+    recovery.on_state_info("p4", StateInfo(9))
+    recovery.on_state_info("p5", StateInfo(9))
+    recovery._check()
+    dst = [dst for dst, msg in host.sent if isinstance(msg, RecoveryRequest)][0]
+    assert dst in ("p4", "p5")
+
+
+def test_request_served_with_consecutive_blocks():
+    host, recovery = make_recovery(batch_max=5)
+    blocks = make_chain([1, 1, 1, 1])
+    for block in blocks[:3]:  # hold 0..2 only
+        host.deliver_block(block, "test")
+    host.sent.clear()
+    recovery.on_recovery_request("p9", RecoveryRequest(0, 4))
+    responses = host.sent_to("p9")
+    assert len(responses) == 1
+    assert [b.number for b in responses[0].blocks] == [0, 1, 2]
+
+
+def test_request_stops_at_gap():
+    host, recovery = make_recovery()
+    blocks = make_chain([1, 1, 1])
+    host.deliver_block(blocks[0], "test")
+    host.deliver_block(blocks[2], "test")  # gap at 1
+    host.sent.clear()
+    recovery.on_recovery_request("p9", RecoveryRequest(0, 3))
+    responses = host.sent_to("p9")
+    assert [b.number for b in responses[0].blocks] == [0]
+
+
+def test_request_with_nothing_available_ignored():
+    host, recovery = make_recovery()
+    recovery.on_recovery_request("p9", RecoveryRequest(5, 8))
+    assert host.sent == []
+
+
+def test_response_delivers_blocks():
+    host, recovery = make_recovery()
+    blocks = make_chain([1, 1])
+    recovery.on_recovery_response("p3", RecoveryResponse(blocks))
+    assert host.deliveries == [(0, "recovery"), (1, "recovery")]
+    assert recovery.blocks_recovered == 2
+
+
+def test_batch_max_respected_when_serving():
+    host, recovery = make_recovery(batch_max=2)
+    for block in make_chain([1, 1, 1, 1]):
+        host.deliver_block(block, "test")
+    host.sent.clear()
+    recovery.on_recovery_request("p9", RecoveryRequest(0, 4))
+    responses = host.sent_to("p9")
+    assert len(responses[0].blocks) == 2
+
+
+def test_catch_up_loop_converges():
+    """Repeated check/serve cycles bring a lagging peer up to height."""
+    host_behind, recovery_behind = make_recovery(batch_max=2)
+    blocks = make_chain([1] * 6)
+    # The serving side holds all blocks.
+    host_ahead, recovery_ahead = make_recovery(batch_max=2)
+    for block in blocks:
+        host_ahead.deliver_block(block, "test")
+    recovery_behind.on_state_info("p1", StateInfo(6))
+    for _ in range(4):
+        host_behind.sent.clear()
+        host_behind.height = len(host_behind.blocks)
+        recovery_behind._check()
+        for dst, msg in list(host_behind.sent):
+            if isinstance(msg, RecoveryRequest):
+                host_ahead.sent.clear()
+                recovery_ahead.on_recovery_request("p0", msg)
+                for _, response in host_ahead.sent:
+                    recovery_behind.on_recovery_response(dst, response)
+    assert len(host_behind.blocks) == 6

@@ -1,0 +1,93 @@
+"""Unit tests for the organization membership view."""
+
+import random
+
+import pytest
+
+from repro.gossip.view import OrganizationView, build_views
+
+
+def make_view(self_name="p1", size=5, leader="p0"):
+    peers = [f"p{i}" for i in range(size)]
+    return OrganizationView(self_name, peers, peers + ["q0", "q1"], leader)
+
+
+def test_org_others_excludes_self():
+    view = make_view("p1")
+    assert "p1" not in view.org_others
+    assert len(view.org_others) == 4
+
+
+def test_org_size_includes_self():
+    assert make_view().org_size == 5
+
+
+def test_leader_flag():
+    assert make_view("p0").is_leader
+    assert not make_view("p1").is_leader
+
+
+def test_channel_others_includes_other_orgs():
+    view = make_view("p1")
+    assert "q0" in view.channel_others
+    assert "p1" not in view.channel_others
+
+
+def test_self_must_be_in_org():
+    with pytest.raises(ValueError):
+        OrganizationView("stranger", ["p0"], ["p0"], "p0")
+
+
+def test_leader_must_be_in_org():
+    with pytest.raises(ValueError):
+        OrganizationView("p0", ["p0"], ["p0"], "q9")
+
+
+def test_sample_org_never_returns_self():
+    view = make_view("p1")
+    rng = random.Random(1)
+    for _ in range(100):
+        sample = view.sample_org(rng, 3)
+        assert "p1" not in sample
+        assert len(sample) == 3
+        assert len(set(sample)) == 3
+
+
+def test_sample_org_respects_exclusions():
+    view = make_view("p1")
+    rng = random.Random(1)
+    for _ in range(50):
+        assert "p2" not in view.sample_org(rng, 2, exclude=["p2"])
+
+
+def test_sample_org_clamps_to_population():
+    view = make_view("p1", size=3)
+    rng = random.Random(1)
+    assert sorted(view.sample_org(rng, 10)) == ["p0", "p2"]
+
+
+def test_sample_channel_spans_orgs():
+    view = make_view("p1")
+    rng = random.Random(1)
+    seen = set()
+    for _ in range(200):
+        seen.update(view.sample_channel(rng, 2))
+    assert "q0" in seen and "q1" in seen
+
+
+def test_views_are_immutable_copies():
+    view = make_view("p1")
+    view.org_others.append("intruder")
+    assert "intruder" not in view.org_others
+
+
+def test_build_views_multi_org():
+    views = build_views(
+        {"org0": ["a", "b"], "org1": ["c", "d", "e"]},
+        {"org0": "a", "org1": "c"},
+    )
+    assert set(views) == {"a", "b", "c", "d", "e"}
+    assert views["b"].leader == "a"
+    assert views["d"].org_size == 3
+    assert len(views["a"].channel_others) == 4
+    assert views["c"].is_leader

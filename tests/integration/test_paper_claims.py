@@ -1,0 +1,164 @@
+"""The paper's headline claims, verified at reduced scale.
+
+These are the qualitative results of the evaluation (§V), asserted against
+runs small enough for CI: 40-60 peers, tens of blocks. The full-scale
+(100 peers / 1,000 blocks) reproduction lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.dissemination import DisseminationConfig, run_dissemination
+from repro.gossip.config import (
+    BackgroundTrafficConfig,
+    EnhancedGossipConfig,
+    OriginalGossipConfig,
+)
+from repro.metrics.probability_plot import tail_latency
+
+
+# 50-tx (~160 KB) blocks as in the paper: block traffic must dominate the
+# 0.4 MB/s background floor for the bandwidth ratios to be meaningful.
+@pytest.fixture(scope="module")
+def original():
+    return run_dissemination(
+        DisseminationConfig(
+            gossip=OriginalGossipConfig(), n_peers=60, blocks=20, block_period=1.5,
+            tx_per_block=50, seed=12, background=BackgroundTrafficConfig(),
+            idle_tail=10.0,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def enhanced():
+    return run_dissemination(
+        DisseminationConfig(
+            gossip=EnhancedGossipConfig.paper_f4(), n_peers=60, blocks=20,
+            block_period=1.5, tx_per_block=50, seed=12,
+            background=BackgroundTrafficConfig(), idle_tail=10.0,
+        )
+    )
+
+
+def test_both_disseminate_every_block_to_every_peer(original, enhanced):
+    assert original.coverage_complete()
+    assert enhanced.coverage_complete()
+
+
+def test_original_has_heavy_tail_from_pull(original):
+    """§V-B: the original module's tail comes from the 4 s pull period."""
+    latencies = original.tracker.all_latencies()
+    assert tail_latency(latencies, 0.99) > 1.0  # pull-phase stragglers
+    assert original.pull_usage() > 0
+
+
+def test_enhanced_eliminates_the_tail(enhanced):
+    """§V-C: the enhanced module reaches all peers in well under a second."""
+    latencies = enhanced.tracker.all_latencies()
+    assert max(latencies) < 0.5
+    assert enhanced.pull_usage() == 0
+    assert enhanced.recovery_usage() == 0  # pe ~ 1e-6: never needed here
+
+
+def test_enhanced_worst_case_10x_faster(original, enhanced):
+    """Headline claim: blocks reach all peers >10x faster."""
+    worst_original = max(original.time_to_reach_all())
+    worst_enhanced = max(enhanced.time_to_reach_all())
+    assert worst_original / worst_enhanced > 10.0
+
+
+def test_enhanced_reduces_regular_peer_bandwidth(original, enhanced):
+    """Headline claim: >40% less bandwidth at regular peers (block traffic
+    dominates; at test scale with background floor we require >25%)."""
+    original_avg = original.average_regular_peer_mb_per_s()
+    enhanced_avg = enhanced.average_regular_peer_mb_per_s()
+    assert enhanced_avg < 0.75 * original_avg
+
+
+def test_enhanced_reduces_total_network_traffic(original, enhanced):
+    assert (
+        enhanced.bandwidth_report().network_total_mb()
+        < original.bandwidth_report().network_total_mb()
+    )
+
+
+def test_original_transmits_blocks_fout_times_n_coverage(original):
+    """Infect-and-die sends each block ~fout * covered peers times."""
+    counts = original.bandwidth_report().message_counts()
+    per_block = counts["BlockPush"] / original.config.blocks
+    # n=60, fout=3: coverage ~57-58 peers → ~172 pushes (+pull responses).
+    assert 150 <= per_block <= 185
+
+
+def test_enhanced_blocks_cross_wire_n_plus_o_n_times(enhanced):
+    """§IV: with digests, full blocks are transmitted only n + o(n) times."""
+    counts = enhanced.bandwidth_report().message_counts()
+    per_block = counts["BlockPush"] / enhanced.config.blocks
+    n = enhanced.config.n_peers
+    assert n * 0.95 <= per_block <= n * 1.35
+
+
+def test_leader_not_a_hotspot_with_randomized_initial_gossiper(enhanced):
+    """§IV: with f_leader_out = 1, the leader's bandwidth is comparable to
+    a regular peer's (it transmits each block once)."""
+    leader = enhanced.leader_bandwidth().average_mb_per_s
+    regular = enhanced.average_regular_peer_mb_per_s()
+    assert leader < 1.35 * regular
+
+
+def test_fig10_ablation_leader_fanout_increases_leader_load():
+    config_ablation = EnhancedGossipConfig.paper_f4()
+    config_ablation.leader_fanout = config_ablation.fout
+    ablation = run_dissemination(
+        DisseminationConfig(
+            gossip=config_ablation, n_peers=60, blocks=10, block_period=1.5,
+            tx_per_block=50, seed=13, background=BackgroundTrafficConfig(),
+        )
+    )
+    leader = ablation.leader_bandwidth().average_mb_per_s
+    regular = ablation.average_regular_peer_mb_per_s()
+    assert leader > 1.25 * regular
+
+
+def test_fig11_ablation_no_digests_blows_up_bandwidth():
+    config_ablation = EnhancedGossipConfig.paper_f4()
+    config_ablation.use_digests = False
+    ablation = run_dissemination(
+        DisseminationConfig(
+            gossip=config_ablation, n_peers=60, blocks=10, block_period=1.0,
+            tx_per_block=10, seed=13,
+        )
+    )
+    baseline = run_dissemination(
+        DisseminationConfig(
+            gossip=EnhancedGossipConfig.paper_f4(), n_peers=60, blocks=10,
+            block_period=1.0, tx_per_block=10, seed=13,
+        )
+    )
+    ratio = (
+        ablation.bandwidth_report().network_total_mb()
+        / baseline.bandwidth_report().network_total_mb()
+    )
+    assert ratio > 3.0  # paper: ~8 MB/s vs ~0.65 MB/s at full scale
+
+
+def test_f2_and_f4_have_similar_tails_but_different_slopes():
+    """§V-C: fout=2/TTL=19 halves the early slope, similar worst case."""
+    f4 = run_dissemination(
+        DisseminationConfig(
+            gossip=EnhancedGossipConfig.paper_f4(), n_peers=60, blocks=15,
+            block_period=1.0, tx_per_block=10, seed=14,
+        )
+    )
+    f2 = run_dissemination(
+        DisseminationConfig(
+            gossip=EnhancedGossipConfig.paper_f2(), n_peers=60, blocks=15,
+            block_period=1.0, tx_per_block=10, seed=14,
+        )
+    )
+    median_f4 = tail_latency(f4.tracker.all_latencies(), 0.5)
+    median_f2 = tail_latency(f2.tracker.all_latencies(), 0.5)
+    assert median_f2 > 1.2 * median_f4  # slower early growth
+    worst_f4 = max(f4.tracker.all_latencies())
+    worst_f2 = max(f2.tracker.all_latencies())
+    assert worst_f2 < 3.0 * worst_f4  # tails stay comparable

@@ -1,0 +1,76 @@
+"""Unit tests for blocks and headers."""
+
+from repro.ledger.block import BLOCK_HEADER_SIZE_BYTES, Block, GENESIS_PREVIOUS_HASH
+from repro.ledger.transaction import DEFAULT_TX_SIZE_BYTES
+
+from tests.conftest import make_block, make_chain, make_transactions
+
+
+def test_create_sets_number_and_links():
+    block = make_block(number=0)
+    assert block.number == 0
+    assert block.header.previous_hash == GENESIS_PREVIOUS_HASH
+
+
+def test_block_hash_stable():
+    block = make_block()
+    assert block.block_hash == block.block_hash
+    assert len(block.block_hash) == 64
+
+
+def test_different_content_different_hash():
+    a = Block.create(0, GENESIS_PREVIOUS_HASH, make_transactions(1))
+    b = Block.create(0, GENESIS_PREVIOUS_HASH, make_transactions(2))
+    assert a.block_hash != b.block_hash
+
+
+def test_hash_depends_on_previous_hash():
+    a = Block.create(1, "0" * 64, make_transactions(1))
+    b = Block.create(1, "1" * 64, make_transactions(1))
+    assert a.block_hash != b.block_hash
+
+
+def test_chain_links_verify():
+    blocks = make_chain([1, 2, 3])
+    assert blocks[1].header.previous_hash == blocks[0].block_hash
+    assert blocks[2].header.previous_hash == blocks[1].block_hash
+
+
+def test_size_is_header_plus_transactions():
+    block = Block.create(0, GENESIS_PREVIOUS_HASH, make_transactions(3, size=500))
+    assert block.size_bytes() == BLOCK_HEADER_SIZE_BYTES + 3 * 500
+
+
+def test_size_cached_and_stable():
+    block = make_block(txs=5)
+    assert block.size_bytes() == block.size_bytes()
+
+
+def test_paper_block_size_about_160kb():
+    """50 transactions at the default size give the paper's ~160 KB block."""
+    txs = make_transactions(50, size=DEFAULT_TX_SIZE_BYTES)
+    block = Block.create(0, GENESIS_PREVIOUS_HASH, txs)
+    assert 155_000 < block.size_bytes() < 165_000
+
+
+def test_verify_data_hash_detects_tampering():
+    block = make_block(txs=2)
+    assert block.verify_data_hash()
+    block.transactions.pop()
+    assert not block.verify_data_hash()
+
+
+def test_tx_count():
+    assert make_block(txs=4).tx_count == 4
+
+
+def test_empty_block_valid():
+    block = Block.create(0, GENESIS_PREVIOUS_HASH, [])
+    assert block.tx_count == 0
+    assert block.verify_data_hash()
+    assert block.size_bytes() == BLOCK_HEADER_SIZE_BYTES
+
+
+def test_cut_at_recorded():
+    block = Block.create(0, GENESIS_PREVIOUS_HASH, [], cut_at=12.5)
+    assert block.cut_at == 12.5

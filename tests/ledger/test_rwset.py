@@ -1,0 +1,101 @@
+"""Unit tests for read/write sets."""
+
+from repro.ledger.kvstore import KeyValueStore, NIL_VERSION, Version
+from repro.ledger.rwset import ReadWriteSet
+
+
+def test_record_read_first_wins():
+    rwset = ReadWriteSet()
+    rwset.record_read("k", Version(1, 0))
+    rwset.record_read("k", Version(2, 0))
+    assert rwset.reads["k"] == Version(1, 0)
+
+
+def test_record_write_last_wins():
+    rwset = ReadWriteSet()
+    rwset.record_write("k", 1)
+    rwset.record_write("k", 2)
+    assert rwset.writes["k"] == 2
+
+
+def test_digest_deterministic_and_order_insensitive():
+    a = ReadWriteSet()
+    a.record_read("x", Version(0, 0))
+    a.record_read("y", Version(1, 0))
+    b = ReadWriteSet()
+    b.record_read("y", Version(1, 0))
+    b.record_read("x", Version(0, 0))
+    assert a.digest() == b.digest()
+
+
+def test_digest_sensitive_to_versions():
+    a = ReadWriteSet()
+    a.record_read("x", Version(0, 0))
+    b = ReadWriteSet()
+    b.record_read("x", Version(1, 0))
+    assert a.digest() != b.digest()
+
+
+def test_digest_sensitive_to_write_values():
+    a = ReadWriteSet()
+    a.record_write("x", 1)
+    b = ReadWriteSet()
+    b.record_write("x", 2)
+    assert a.digest() != b.digest()
+
+
+def test_digest_cache_invalidated_on_mutation():
+    rwset = ReadWriteSet()
+    rwset.record_write("x", 1)
+    first = rwset.digest()
+    rwset.record_write("y", 2)
+    assert rwset.digest() != first
+
+
+def test_conflicts_with_state_detects_stale_read():
+    store = KeyValueStore()
+    store.put("x", 1, Version(5, 0))
+    rwset = ReadWriteSet()
+    rwset.record_read("x", Version(4, 0))  # simulated over an older state
+    assert rwset.conflicts_with_state(store.get_version)
+
+
+def test_no_conflict_on_matching_versions():
+    store = KeyValueStore()
+    store.put("x", 1, Version(5, 0))
+    rwset = ReadWriteSet()
+    rwset.record_read("x", Version(5, 0))
+    assert not rwset.conflicts_with_state(store.get_version)
+
+
+def test_read_of_absent_key_matches_nil_version():
+    store = KeyValueStore()
+    rwset = ReadWriteSet()
+    rwset.record_read("never-written", NIL_VERSION)
+    assert not rwset.conflicts_with_state(store.get_version)
+
+
+def test_read_of_absent_key_conflicts_once_written():
+    store = KeyValueStore()
+    rwset = ReadWriteSet()
+    rwset.record_read("x", NIL_VERSION)
+    store.put("x", 1, Version(0, 0))
+    assert rwset.conflicts_with_state(store.get_version)
+
+
+def test_is_read_only_and_bool():
+    rwset = ReadWriteSet()
+    assert not rwset
+    rwset.record_read("x", NIL_VERSION)
+    assert rwset.is_read_only
+    assert rwset
+    rwset.record_write("x", 1)
+    assert not rwset.is_read_only
+
+
+def test_write_only_set_never_conflicts():
+    store = KeyValueStore()
+    store.put("x", 1, Version(3, 0))
+    rwset = ReadWriteSet()
+    rwset.record_write("x", 2)  # blind write: no read, no conflict
+    assert not rwset.conflicts_with_state(store.get_version)

@@ -1,0 +1,98 @@
+"""Unit tests for transactions and endorsements."""
+
+from repro.crypto.identity import MembershipServiceProvider
+from repro.crypto.signature import verify
+from repro.ledger.kvstore import Version
+from repro.ledger.rwset import ReadWriteSet
+from repro.ledger.transaction import Endorsement, TransactionProposal, ValidationCode
+
+
+def make_rwset(version=Version(0, 0)):
+    rwset = ReadWriteSet()
+    rwset.record_read("x", version)
+    rwset.record_write("x", 1)
+    return rwset
+
+
+def make_endorser(name="endorser-0"):
+    return MembershipServiceProvider().enroll(name, "org0", "peer")
+
+
+def test_endorsement_signs_rwset_digest():
+    identity = make_endorser()
+    rwset = make_rwset()
+    endorsement = Endorsement.create(identity, rwset)
+    assert endorsement.rwset_digest == rwset.digest()
+    assert verify(identity, rwset.digest(), endorsement.signature)
+
+
+def test_endorsement_carries_org():
+    endorsement = Endorsement.create(make_endorser(), make_rwset())
+    assert endorsement.organization == "org0"
+
+
+def test_proposal_consistent_endorsements():
+    identity = make_endorser()
+    rwset = make_rwset()
+    proposal = TransactionProposal(
+        tx_id="t1", client="c", chaincode_id="cc", args=(), rwset=rwset,
+        endorsements=[Endorsement.create(identity, rwset)],
+    )
+    assert proposal.endorsements_consistent()
+
+
+def test_proposal_detects_digest_mismatch():
+    msp = MembershipServiceProvider()
+    e1 = msp.enroll("e1", "org0", "peer")
+    e2 = msp.enroll("e2", "org0", "peer")
+    rwset_new = make_rwset(Version(1, 0))
+    rwset_old = make_rwset(Version(0, 0))  # endorser behind by one block
+    proposal = TransactionProposal(
+        tx_id="t1", client="c", chaincode_id="cc", args=(), rwset=rwset_new,
+        endorsements=[Endorsement.create(e1, rwset_new), Endorsement.create(e2, rwset_old)],
+    )
+    assert not proposal.endorsements_consistent()
+
+
+def test_proposal_without_endorsements_inconsistent():
+    proposal = TransactionProposal(
+        tx_id="t1", client="c", chaincode_id="cc", args=(), rwset=make_rwset()
+    )
+    assert not proposal.endorsements_consistent()
+
+
+def test_proposal_rwset_must_match_endorsed_digest():
+    identity = make_endorser()
+    endorsed = make_rwset()
+    different = make_rwset(Version(9, 9))
+    proposal = TransactionProposal(
+        tx_id="t1", client="c", chaincode_id="cc", args=(), rwset=different,
+        endorsements=[Endorsement.create(identity, endorsed)],
+    )
+    assert not proposal.endorsements_consistent()
+
+
+def test_endorsing_organizations_deduplicated():
+    msp = MembershipServiceProvider()
+    rwset = make_rwset()
+    endorsements = [
+        Endorsement.create(msp.enroll("e1", "org0", "peer"), rwset),
+        Endorsement.create(msp.enroll("e2", "org0", "peer"), rwset),
+        Endorsement.create(msp.enroll("e3", "org1", "peer"), rwset),
+    ]
+    proposal = TransactionProposal(
+        tx_id="t1", client="c", chaincode_id="cc", args=(), rwset=rwset,
+        endorsements=endorsements,
+    )
+    assert proposal.endorsing_organizations == ["org0", "org1"]
+
+
+def test_tx_ids_unique():
+    ids = {TransactionProposal.next_tx_id("client") for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_validation_code_validity():
+    assert ValidationCode.VALID.is_valid
+    assert not ValidationCode.MVCC_READ_CONFLICT.is_valid
+    assert not ValidationCode.ENDORSEMENT_POLICY_FAILURE.is_valid

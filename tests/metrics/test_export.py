@@ -1,0 +1,65 @@
+"""Unit tests for CSV/JSON export."""
+
+import json
+
+import pytest
+
+from repro.metrics.export import (
+    bandwidth_series_to_csv,
+    dissemination_result_to_json,
+    latency_curves_to_csv,
+    latency_stats_to_dict,
+)
+from repro.metrics.latency import LatencyStats
+from repro.metrics.probability_plot import logistic_probability_points
+
+
+def test_latency_curves_csv_shape():
+    curves = {
+        "fastest": logistic_probability_points([0.1, 0.2]),
+        "slowest": logistic_probability_points([1.0, 2.0, 3.0]),
+    }
+    text = latency_curves_to_csv(curves)
+    lines = text.strip().splitlines()
+    assert lines[0] == "curve,latency_s,fraction,logit"
+    assert len(lines) == 1 + 2 + 3
+    assert lines[1].startswith("fastest,0.1")
+
+
+def test_bandwidth_csv_columns_and_times():
+    text = bandwidth_series_to_csv(10.0, {"leader": [1.0, 2.0], "regular": [0.5, 0.25]})
+    lines = text.strip().splitlines()
+    assert lines[0] == "time_s,leader_mb_per_s,regular_mb_per_s"
+    assert lines[1].startswith("0.0,1.0")
+    assert lines[2].startswith("10.0,2.0")
+
+
+def test_bandwidth_csv_rejects_ragged_series():
+    with pytest.raises(ValueError):
+        bandwidth_series_to_csv(10.0, {"a": [1.0], "b": [1.0, 2.0]})
+
+
+def test_latency_stats_dict_roundtrip():
+    stats = LatencyStats.from_samples([0.1, 0.2, 0.3])
+    payload = latency_stats_to_dict(stats)
+    assert payload["count"] == 3
+    assert payload["p50_s"] == pytest.approx(0.2)
+
+
+def test_dissemination_result_json():
+    from repro.experiments.dissemination import DisseminationConfig, run_dissemination
+    from repro.gossip.config import EnhancedGossipConfig
+
+    result = run_dissemination(
+        DisseminationConfig(
+            gossip=EnhancedGossipConfig.paper_f4(), n_peers=10, blocks=2,
+            tx_per_block=2, block_period=0.5, seed=1,
+        )
+    )
+    payload = json.loads(dissemination_result_to_json(result))
+    assert payload["experiment"]["n_peers"] == 10
+    assert payload["experiment"]["gossip"] == "EnhancedGossipConfig"
+    assert payload["experiment"]["gossip_parameters"]["ttl"] == 9
+    assert payload["coverage_complete"] is True
+    assert payload["latency"]["count"] == 20
+    assert "BlockPush" in payload["messages_per_block"]

@@ -1,0 +1,86 @@
+"""Unit tests for logistic probability plot transforms."""
+
+import math
+
+import pytest
+
+from repro.metrics.probability_plot import (
+    PAPER_Y_TICKS,
+    linearity_r2,
+    logistic_probability_points,
+    logit,
+    tail_latency,
+)
+
+
+def test_logit_symmetry():
+    assert logit(0.5) == 0.0
+    assert logit(0.9) == pytest.approx(-logit(0.1))
+
+
+def test_logit_rejects_bounds():
+    for bad in (0.0, 1.0, -0.1, 1.1):
+        with pytest.raises(ValueError):
+            logit(bad)
+
+
+def test_paper_ticks_are_valid_probabilities():
+    assert all(0 < p < 1 for p in PAPER_Y_TICKS)
+    assert list(PAPER_Y_TICKS) == sorted(PAPER_Y_TICKS)
+
+
+def test_points_sorted_with_plotting_positions():
+    points = logistic_probability_points([3.0, 1.0, 2.0])
+    assert [p.latency for p in points] == [1.0, 2.0, 3.0]
+    assert [p.fraction for p in points] == pytest.approx([1 / 6, 3 / 6, 5 / 6])
+    assert points[0].ordinate < points[1].ordinate < points[2].ordinate
+
+
+def test_points_empty_input():
+    assert logistic_probability_points([]) == []
+
+
+def test_fractions_strictly_inside_unit_interval():
+    points = logistic_probability_points([1.0] * 1000)
+    assert all(0 < p.fraction < 1 for p in points)
+
+
+def test_tail_latency():
+    samples = [float(i) for i in range(1, 101)]  # 1..100
+    assert tail_latency(samples, 0.95) == 95.0
+    assert tail_latency(samples, 1.0) == 100.0
+    with pytest.raises(ValueError):
+        tail_latency([], 0.5)
+
+
+def test_logistic_samples_look_linear():
+    """Samples drawn from a logistic CDF give R² ≈ 1 on these axes."""
+    import random
+
+    rng = random.Random(1)
+    samples = []
+    for _ in range(2000):
+        u = rng.random()
+        samples.append(1.0 + 0.2 * math.log(u / (1 - u)))  # logistic(1, 0.2)
+    points = logistic_probability_points(samples)
+    assert linearity_r2(points) > 0.98
+
+
+def test_heavy_tailed_samples_less_linear():
+    """A pull-style mixture (fast mass + uniform tail) bends the plot."""
+    import random
+
+    rng = random.Random(1)
+    samples = []
+    for _ in range(2000):
+        if rng.random() < 0.94:
+            samples.append(rng.gauss(0.2, 0.02))
+        else:
+            samples.append(rng.uniform(1.0, 8.0))  # pull-phase stragglers
+    r2_mixture = linearity_r2(logistic_probability_points(samples))
+    assert r2_mixture < 0.9
+
+
+def test_linearity_needs_three_points():
+    with pytest.raises(ValueError):
+        linearity_r2(logistic_probability_points([1.0, 2.0]))

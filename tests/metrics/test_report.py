@@ -1,0 +1,38 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.metrics.report import format_table
+
+
+def test_basic_table():
+    text = format_table(["a", "b"], [[1, 2], [3, 4]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "1" in lines[2] and "4" in lines[3]
+
+
+def test_title_included():
+    text = format_table(["x"], [[1]], title="Table II")
+    assert text.splitlines()[0] == "Table II"
+
+
+def test_floats_formatted():
+    text = format_table(["v"], [[1.23456]])
+    assert "1.235" in text
+
+
+def test_columns_aligned():
+    text = format_table(["name", "v"], [["short", 1], ["a-much-longer-name", 2]])
+    lines = text.splitlines()
+    assert lines[2].index("|") == lines[3].index("|")
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_ok():
+    text = format_table(["a"], [])
+    assert "a" in text

@@ -1,0 +1,96 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency, LanLatency, LatencyModel, UniformLatency
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1)
+
+
+def test_constant_latency(rng):
+    model = ConstantLatency(0.005)
+    assert model.sample(rng, "a", "b") == 0.005
+
+
+def test_constant_latency_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(-0.001)
+
+
+def test_uniform_latency_within_bounds(rng):
+    model = UniformLatency(0.001, 0.002)
+    for _ in range(100):
+        value = model.sample(rng, "a", "b")
+        assert 0.001 <= value <= 0.002
+
+
+def test_uniform_latency_invalid_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(0.002, 0.001)
+    with pytest.raises(ValueError):
+        UniformLatency(-0.001, 0.002)
+
+
+def test_lan_latency_at_least_base(rng):
+    model = LanLatency(base=0.01, jitter_median=0.001)
+    for _ in range(200):
+        assert model.sample(rng, "a", "b") >= 0.01
+
+
+def test_lan_latency_zero_jitter_is_deterministic(rng):
+    model = LanLatency(base=0.01, jitter_median=0.0)
+    samples = {model.sample(rng, "a", "b") for _ in range(10)}
+    assert samples == {0.01}
+
+
+def test_lan_latency_jitter_median_approximate(rng):
+    model = LanLatency(base=0.0, jitter_median=0.004, jitter_sigma=0.5)
+    samples = sorted(model.sample(rng, "a", "b") for _ in range(4001))
+    median = samples[len(samples) // 2]
+    assert 0.003 < median < 0.005
+
+
+def test_lan_latency_has_tail(rng):
+    model = LanLatency(base=0.0, jitter_median=0.001, jitter_sigma=1.0)
+    samples = [model.sample(rng, "a", "b") for _ in range(5000)]
+    assert max(samples) > 5 * (sum(samples) / len(samples))
+
+
+def test_lan_latency_rejects_negative_params():
+    with pytest.raises(ValueError):
+        LanLatency(base=-0.001)
+
+
+def test_base_model_is_abstract(rng):
+    with pytest.raises(NotImplementedError):
+        LatencyModel().sample(rng, "a", "b")
+
+
+def test_wan_latency_intra_vs_inter(rng):
+    from repro.net.latency import WanLatency
+
+    model = WanLatency(
+        site_of={"a": "dc1", "b": "dc1", "c": "dc2"},
+        intra=ConstantLatency(0.001),
+        inter=ConstantLatency(0.040),
+    )
+    assert model.sample(rng, "a", "b") == 0.001
+    assert model.sample(rng, "a", "c") == 0.040
+    assert model.sample(rng, "c", "b") == 0.040
+
+
+def test_wan_latency_unmapped_nodes_are_remote(rng):
+    from repro.net.latency import WanLatency
+
+    model = WanLatency(
+        site_of={"a": "dc1"},
+        intra=ConstantLatency(0.001),
+        inter=ConstantLatency(0.040),
+    )
+    assert model.sample(rng, "orderer", "a") == 0.040
+    assert model.sample(rng, "orderer", "client") == 0.040

@@ -1,0 +1,41 @@
+"""Unit tests for base message types."""
+
+import pytest
+
+from repro.net.message import Message, RawMessage
+
+
+def test_raw_message_size():
+    assert RawMessage(123).payload_size() == 123
+
+
+def test_raw_message_negative_size_rejected():
+    with pytest.raises(ValueError):
+        RawMessage(-1)
+
+
+def test_kind_defaults_to_class_name():
+    class Custom(Message):
+        def payload_size(self):
+            return 1
+
+    assert Custom().kind == "Custom"
+
+
+def test_raw_message_kind_override():
+    assert RawMessage(1, kind="Heartbeat").kind == "Heartbeat"
+
+
+def test_message_ids_unique_and_increasing():
+    a, b, c = RawMessage(1), RawMessage(1), RawMessage(1)
+    assert a.msg_id < b.msg_id < c.msg_id
+
+
+def test_base_payload_size_abstract():
+    with pytest.raises(NotImplementedError):
+        Message().payload_size()
+
+
+def test_raw_message_carries_body():
+    message = RawMessage(10, body={"k": 1})
+    assert message.body == {"k": 1}

@@ -1,0 +1,102 @@
+"""Unit tests for traffic accounting."""
+
+import pytest
+
+from repro.net.monitor import TrafficMonitor
+
+
+def test_records_totals():
+    monitor = TrafficMonitor()
+    monitor.record(0.5, "a", "b", "Block", 100)
+    monitor.record(1.5, "a", "c", "Digest", 10)
+    assert monitor.totals.messages == 2
+    assert monitor.totals.bytes == 110
+    assert monitor.totals.by_kind_bytes == {"Block": 100, "Digest": 10}
+    assert monitor.totals.by_kind_messages == {"Block": 1, "Digest": 1}
+
+
+def test_tx_and_rx_series_binning():
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(0.2, "a", "b", "M", 100)
+    monitor.record(0.8, "a", "b", "M", 50)
+    monitor.record(2.5, "a", "b", "M", 25)
+    assert monitor.series("a", "tx") == [150.0, 0.0, 25.0]
+    assert monitor.series("b", "rx") == [150.0, 0.0, 25.0]
+    assert monitor.series("b", "tx") == [0.0, 0.0, 0.0]
+
+
+def test_both_direction_sums_tx_and_rx():
+    monitor = TrafficMonitor()
+    monitor.record(0.0, "a", "b", "M", 100)
+    monitor.record(0.0, "b", "a", "M", 30)
+    assert monitor.series("a", "both") == [130.0]
+
+
+def test_series_padding_to_end_time():
+    monitor = TrafficMonitor()
+    monitor.record(0.0, "a", "b", "M", 10)
+    series = monitor.series("a", "tx", end_time=5.0)
+    assert len(series) == 6
+    assert series[1:] == [0.0] * 5
+
+
+def test_rate_series_divides_by_bin_width():
+    monitor = TrafficMonitor(bin_width=2.0)
+    monitor.record(1.0, "a", "b", "M", 100)
+    assert monitor.rate_series("a", "tx") == [50.0]
+
+
+def test_average_rate_over_window():
+    monitor = TrafficMonitor()
+    monitor.record(0.5, "a", "b", "M", 100)
+    monitor.record(9.5, "a", "b", "M", 100)
+    assert monitor.average_rate("a", "tx", 0.0, 10.0) == pytest.approx(20.0)
+
+
+def test_average_rate_empty_window():
+    monitor = TrafficMonitor()
+    assert monitor.average_rate("a", "tx", 5.0, 5.0) == 0.0
+
+
+def test_unknown_node_yields_zero_series():
+    monitor = TrafficMonitor()
+    monitor.record(0.0, "a", "b", "M", 10)
+    assert monitor.series("zzz", "both", end_time=1.0) == [0.0, 0.0]
+
+
+def test_nodes_lists_senders_and_receivers():
+    monitor = TrafficMonitor()
+    monitor.record(0.0, "a", "b", "M", 10)
+    assert monitor.nodes() == ["a", "b"]
+
+
+def test_node_totals_prefixed_by_direction():
+    monitor = TrafficMonitor()
+    monitor.record(0.0, "a", "b", "Block", 10)
+    assert monitor.node_totals("a").by_kind_bytes == {"tx:Block": 10}
+    assert monitor.node_totals("b").by_kind_bytes == {"rx:Block": 10}
+
+
+def test_invalid_direction_rejected():
+    monitor = TrafficMonitor()
+    with pytest.raises(ValueError):
+        monitor.series("a", "sideways")
+
+
+def test_invalid_bin_width_rejected():
+    with pytest.raises(ValueError):
+        TrafficMonitor(bin_width=0.0)
+
+
+def test_last_time_tracks_latest_record():
+    monitor = TrafficMonitor()
+    monitor.record(3.0, "a", "b", "M", 1)
+    monitor.record(1.0, "a", "b", "M", 1)
+    assert monitor.last_time == 3.0
+
+
+def test_network_total_bytes():
+    monitor = TrafficMonitor()
+    monitor.record(0.0, "a", "b", "M", 70)
+    monitor.record(0.0, "b", "a", "M", 30)
+    assert monitor.network_total_bytes() == 100

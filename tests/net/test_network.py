@@ -1,0 +1,247 @@
+"""Unit tests for the simulated network (delivery, serialization, faults)."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.message import RawMessage
+from repro.net.network import Network, NetworkConfig
+from repro.simulation.random import RandomStreams
+
+
+def make_network(sim, bandwidth=1_000_000.0, latency=0.010, overhead=0, queue_min=0):
+    config = NetworkConfig(
+        bandwidth=bandwidth,
+        envelope_overhead=overhead,
+        latency_model=ConstantLatency(latency),
+        downlink_queue_min_bytes=queue_min,
+    )
+    return Network(sim, RandomStreams(1), config)
+
+
+def register_sink(network, name):
+    inbox = []
+    network.register(name, lambda src, msg: inbox.append((src, msg)))
+    return inbox
+
+
+def test_basic_delivery(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    network.send("a", "b", RawMessage(100))
+    sim.run()
+    assert len(inbox) == 1
+    assert inbox[0][0] == "a"
+
+
+def test_delivery_time_includes_transfer_and_latency(sim):
+    # 1 MB/s bandwidth: 10_000 bytes = 10 ms uplink + 10 ms downlink + 10 ms latency.
+    network = make_network(sim, bandwidth=1_000_000.0, latency=0.010)
+    register_sink(network, "a")
+    times = []
+    network.register("b", lambda src, msg: times.append(sim.now))
+    network.send("a", "b", RawMessage(10_000))
+    sim.run()
+    assert times[0] == pytest.approx(0.030)
+
+
+def test_uplink_serialization_queues_bursts(sim):
+    network = make_network(sim, bandwidth=1_000_000.0, latency=0.0)
+    register_sink(network, "a")
+    times = {}
+    for name in ("b", "c"):
+        network.register(name, lambda src, msg, n=name: times.setdefault(n, sim.now))
+    # Two 10 ms transfers sent back to back from the same NIC.
+    network.send("a", "b", RawMessage(10_000))
+    network.send("a", "c", RawMessage(10_000))
+    sim.run()
+    # First: 10 ms uplink + 10 ms downlink; second queued behind the first
+    # uplink: starts at 10 ms, arrives at 20 ms + its own downlink.
+    assert times["b"] == pytest.approx(0.020)
+    assert times["c"] == pytest.approx(0.030)
+
+
+def test_downlink_serialization_at_receiver(sim):
+    network = make_network(sim, bandwidth=1_000_000.0, latency=0.0)
+    register_sink(network, "a")
+    register_sink(network, "b")
+    times = []
+    network.register("c", lambda src, msg: times.append(sim.now))
+    network.send("a", "c", RawMessage(10_000))
+    network.send("b", "c", RawMessage(10_000))
+    sim.run()
+    # Both uplinks parallel (different NICs) finishing at 10 ms; receiver
+    # serializes the two downlinks.
+    assert times == pytest.approx([0.020, 0.030])
+
+
+def test_downlink_queue_resolved_in_arrival_order(sim):
+    """An early-sent message on a slow path must NOT reserve the downlink
+    ahead of a later-sent message that physically arrives first."""
+    from repro.net.latency import LatencyModel
+
+    class PerSourceLatency(LatencyModel):
+        def sample(self, rng, src, dst):
+            return 0.100 if src == "slow" else 0.001
+
+    config = NetworkConfig(
+        bandwidth=1_000_000.0,
+        envelope_overhead=0,
+        latency_model=PerSourceLatency(),
+        downlink_queue_min_bytes=0,
+    )
+    network = Network(sim, RandomStreams(1), config)
+    register_sink(network, "slow")
+    register_sink(network, "fast")
+    arrivals = []
+    network.register("c", lambda src, msg: arrivals.append((src, sim.now)))
+    network.send("slow", "c", RawMessage(1_000))  # sent first, arrives ~0.101
+    sim.schedule(0.010, network.send, "fast", "c", RawMessage(1_000))  # arrives ~0.012
+    sim.run()
+    assert arrivals[0][0] == "fast"
+    assert arrivals[0][1] == pytest.approx(0.013, abs=1e-6)
+    assert arrivals[1][0] == "slow"
+    assert arrivals[1][1] == pytest.approx(0.102, abs=1e-6)
+
+
+def test_small_messages_skip_downlink_queue(sim):
+    """Below the queue threshold, delivery is arrival + transfer even when
+    a big message is hogging the receiver's downlink."""
+    network = make_network(sim, bandwidth=1_000_000.0, latency=0.0, queue_min=5_000)
+    register_sink(network, "a")
+    register_sink(network, "b")
+    times = []
+    network.register("c", lambda src, msg: times.append((msg.payload_size(), sim.now)))
+    network.send("a", "c", RawMessage(10_000))  # large: queued (10ms uplink + 10ms downlink)
+    network.send("b", "c", RawMessage(1_000))  # small: 1ms uplink + 1ms transfer
+    sim.run()
+    assert times[0] == (1_000, pytest.approx(0.002))
+    assert times[1] == (10_000, pytest.approx(0.020))
+
+
+def test_envelope_overhead_counted(sim):
+    network = make_network(sim, overhead=256)
+    register_sink(network, "a")
+    register_sink(network, "b")
+    network.send("a", "b", RawMessage(100))
+    sim.run()
+    assert network.monitor.totals.bytes == 356
+
+
+def test_self_send_rejected(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    with pytest.raises(ValueError):
+        network.send("a", "a", RawMessage(1))
+
+
+def test_unknown_source_rejected(sim):
+    network = make_network(sim)
+    register_sink(network, "b")
+    with pytest.raises(ValueError):
+        network.send("ghost", "b", RawMessage(1))
+
+
+def test_send_to_unregistered_destination_dropped(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    network.send("a", "ghost", RawMessage(1))
+    sim.run()
+    assert network.dropped_messages == 1
+
+
+def test_duplicate_registration_rejected(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    with pytest.raises(ValueError):
+        network.register("a", lambda src, msg: None)
+
+
+def test_disconnected_destination_drops(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    network.set_disconnected("b", True)
+    network.send("a", "b", RawMessage(1))
+    sim.run()
+    assert inbox == []
+    assert network.dropped_messages == 1
+
+
+def test_disconnected_source_drops(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    network.set_disconnected("a", True)
+    network.send("a", "b", RawMessage(1))
+    sim.run()
+    assert inbox == []
+
+
+def test_reconnect_restores_delivery(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    network.set_disconnected("b", True)
+    network.send("a", "b", RawMessage(1))
+    network.set_disconnected("b", False)
+    network.send("a", "b", RawMessage(1))
+    sim.run()
+    assert len(inbox) == 1
+
+
+def test_disconnect_mid_flight_drops_at_delivery(sim):
+    network = make_network(sim, latency=0.050)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    network.send("a", "b", RawMessage(1))
+    sim.schedule(0.010, network.set_disconnected, "b", True)
+    sim.run()
+    assert inbox == []
+    assert network.dropped_messages == 1
+
+
+def test_drop_filter(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    network.set_drop_filter(lambda src, dst, msg: msg.payload_size() > 10)
+    network.send("a", "b", RawMessage(100))
+    network.send("a", "b", RawMessage(5))
+    sim.run()
+    assert len(inbox) == 1
+    assert network.dropped_messages == 1
+
+
+def test_broadcast_sends_independent_copies(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_b = register_sink(network, "b")
+    inbox_c = register_sink(network, "c")
+    network.broadcast("a", ["b", "c"], lambda: RawMessage(10))
+    sim.run()
+    assert len(inbox_b) == len(inbox_c) == 1
+    assert inbox_b[0][1].msg_id != inbox_c[0][1].msg_id
+
+
+def test_monitor_records_at_send_time(sim):
+    network = make_network(sim, latency=1.0)
+    register_sink(network, "a")
+    register_sink(network, "b")
+    sim.schedule(5.0, network.send, "a", "b", RawMessage(100))
+    sim.run()
+    assert network.monitor.series("a", "tx", end_time=6.0)[5] == 100.0
+
+
+def test_invalid_bandwidth_rejected(sim):
+    with pytest.raises(ValueError):
+        Network(sim, RandomStreams(1), NetworkConfig(bandwidth=0))
+
+
+def test_traffic_kinds_recorded(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    register_sink(network, "b")
+    network.send("a", "b", RawMessage(10, kind="StateInfo"))
+    sim.run()
+    assert network.monitor.totals.by_kind_messages == {"StateInfo": 1}

@@ -1,0 +1,190 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import SimulationError, Simulator
+
+
+def test_starts_at_time_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_single_event(sim):
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 1.5
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_broken_by_scheduling_order(sim):
+    order = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_stops_clock_at_boundary(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+
+
+def test_run_until_resumes_where_left_off(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    sim.run(until=10.0)
+    assert fired == [1, 5]
+    assert sim.now == 10.0
+
+
+def test_event_at_exact_until_boundary_fires(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "x")
+    sim.run(until=2.0)
+    assert fired == ["x"]
+
+
+def test_nested_scheduling_from_callback(sim):
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(1.0, order.append, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_zero_delay_event_fires_at_current_time(sim):
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [1.0]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(sim):
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_nan_and_inf_times_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule_at(float("nan"), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(float("inf"), lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert handle.cancelled
+
+
+def test_handle_states(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.pending
+    sim.run()
+    assert handle.executed
+    assert not handle.pending
+
+
+def test_events_executed_counter(sim):
+    for delay in (1.0, 2.0, 3.0):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    assert sim.events_executed == 3
+
+
+def test_pending_events_excludes_cancelled(sim):
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_events == 1
+    assert keep.pending
+
+
+def test_max_events_guard(sim):
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(1.0, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_reset_clears_state(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.schedule(5.0, lambda: None)
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+    fired = []
+    sim.schedule(1.0, fired.append, "post-reset")
+    sim.run()
+    assert fired == ["post-reset"]
+
+
+def test_not_reentrant(sim):
+    def recurse():
+        sim.run()
+
+    sim.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_with_no_events_advances_clock(sim):
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_callback_args_passed_through(sim):
+    received = []
+    sim.schedule(1.0, lambda a, b, c: received.append((a, b, c)), 1, "two", 3.0)
+    sim.run()
+    assert received == [(1, "two", 3.0)]
+
+
+def test_many_events_keep_global_order(sim):
+    order = []
+    delays = [5.0, 1.0, 3.0, 2.0, 4.0, 1.0, 2.0]
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, order.append, (delay, index))
+    sim.run()
+    assert order == sorted(order, key=lambda item: (item[0], item[1]))

@@ -1,0 +1,82 @@
+"""Unit tests for the process/actor base class."""
+
+from repro.simulation.process import Process
+
+
+def make_process(sim, streams, name="proc"):
+    return Process(sim, name, streams)
+
+
+def test_process_exposes_clock(sim, streams):
+    process = make_process(sim, streams)
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    assert process.now == 3.0
+
+
+def test_rng_streams_scoped_by_process_name(sim, streams):
+    a = make_process(sim, streams, "a")
+    b = make_process(sim, streams, "b")
+    assert a.rng("x").random() != b.rng("x").random()
+
+
+def test_after_runs_callback(sim, streams):
+    process = make_process(sim, streams)
+    fired = []
+    process.after(1.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_after_skipped_when_dead(sim, streams):
+    process = make_process(sim, streams)
+    fired = []
+    process.after(1.0, fired.append, "x")
+    process.shutdown()
+    sim.run()
+    assert fired == []
+
+
+def test_every_registers_periodic_timer(sim, streams):
+    process = make_process(sim, streams)
+    ticks = []
+    process.every(1.0, lambda: ticks.append(process.now))
+    sim.run(until=3.0)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_shutdown_stops_timers(sim, streams):
+    process = make_process(sim, streams)
+    ticks = []
+    process.every(1.0, lambda: ticks.append(process.now))
+    sim.schedule(2.5, process.shutdown)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert not process.alive
+
+
+def test_periodic_callback_guarded_after_death(sim, streams):
+    process = make_process(sim, streams)
+    ticks = []
+    timer = process.every(1.0, lambda: ticks.append(process.now))
+    process._alive = False  # kill without stopping the timer
+    sim.run(until=3.0)
+    assert ticks == []
+    assert timer.ticks == 3  # timer fired but callback was guarded
+
+
+def test_every_with_jitter_stream_is_deterministic(sim, streams):
+    process = make_process(sim, streams)
+    ticks = []
+    process.every(1.0, lambda: ticks.append(process.now), jitter_stream="j", jitter_fraction=0.2)
+    sim.run(until=5.0)
+    assert len(ticks) >= 3
+    # Jittered: ticks not exactly on the integer grid.
+    assert any(abs(t - round(t)) > 1e-9 for t in ticks)
+
+
+def test_restart_marks_alive(sim, streams):
+    process = make_process(sim, streams)
+    process.shutdown()
+    process.restart()
+    assert process.alive

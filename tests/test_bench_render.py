@@ -1,0 +1,46 @@
+"""Tests for the benchmark rendering helpers (benchmarks/_render.py)."""
+
+from benchmarks._render import ascii_plot, latency_figure_rows, summary_lines
+from repro.experiments.figures import LatencyFigure
+from repro.metrics.probability_plot import logistic_probability_points
+
+
+def test_ascii_plot_scales_to_peak():
+    chart = ascii_plot([0.0, 1.0, 2.0, 4.0], width=4, height=4, label="demo")
+    lines = chart.splitlines()
+    assert lines[0] == "demo"
+    assert "█" in chart
+    # The top row threshold equals the peak.
+    assert "4.00" in lines[1]
+
+
+def test_ascii_plot_empty_series():
+    assert "(empty)" in ascii_plot([], label="x")
+
+
+def test_ascii_plot_downsamples_long_series():
+    chart = ascii_plot([1.0] * 500, width=50, height=3)
+    body_line = chart.splitlines()[0]
+    assert len(body_line) <= 50 + 12  # label column + bars
+
+
+def test_latency_figure_rows_contains_all_curves():
+    figure = LatencyFigure(
+        name="fig-test",
+        curves={
+            "fastest": logistic_probability_points([0.1] * 50),
+            "median": logistic_probability_points([0.2] * 50),
+            "slowest": logistic_probability_points([0.5] * 50),
+        },
+    )
+    text = latency_figure_rows(figure)
+    assert "fig-test" in text
+    assert "fastest" in text and "slowest" in text
+    assert "0.99" in text  # paper tick present
+
+
+def test_summary_lines_format():
+    text = summary_lines("Header", {"a": 1, "b": "two"})
+    assert text.splitlines()[0] == "Header"
+    assert "  a: 1" in text
+    assert "  b: two" in text
