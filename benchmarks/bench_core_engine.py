@@ -1,0 +1,64 @@
+"""Core-engine benchmark: events/sec of the canonical dissemination run.
+
+Unlike the figure benches, this one measures the *simulator* rather than
+the paper: it drives the canonical enhanced-gossip scenario at a sweep of
+organization sizes, reports events/sec, wall time and peak heap size, and
+asserts two invariants:
+
+* determinism — the committed golden metrics (captured with the
+  pre-refactor engine) are reproduced bit-for-bit;
+* throughput — events/sec stays within 20% of the committed
+  ``BENCH_core.json`` baseline (the same check ``scripts/perf_gate.py``
+  runs standalone).
+"""
+
+import json
+import os
+
+from benchmarks.conftest import run_once
+from repro.metrics.report import format_table
+from repro.perf import check_determinism, compare_bench, run_core_benchmark
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_core.json")
+
+
+def test_core_engine(benchmark, full_scale):
+    sizes = (50, 100, 250, 500) if full_scale else (50, 100)
+
+    results = run_once(benchmark, lambda: run_core_benchmark(sizes=sizes, repeats=2))
+
+    print()
+    print(
+        format_table(
+            ["n", "TTL", "events", "wall (s)", "events/s", "peak heap"],
+            [
+                [
+                    r.n_peers,
+                    r.ttl,
+                    r.events,
+                    f"{r.wall_time_s:.3f}",
+                    f"{r.events_per_sec:,.0f}",
+                    r.peak_heap_size,
+                ]
+                for r in results
+            ],
+            title="Core engine throughput (canonical dissemination)",
+        )
+    )
+
+    mismatches = check_determinism()
+    assert not mismatches, f"determinism contract violated: {mismatches}"
+
+    with open(BENCH_JSON, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    current = {
+        "results": [
+            {"n_peers": r.n_peers, "events_per_sec": r.events_per_sec} for r in results
+        ]
+    }
+    committed["results"] = [
+        point for point in committed["results"]
+        if point["n_peers"] in {r.n_peers for r in results}
+    ]
+    failures = compare_bench(current, committed, threshold=0.20)
+    assert not failures, f"throughput regression vs BENCH_core.json: {failures}"

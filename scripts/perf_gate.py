@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Perf-regression gate for the simulation core.
+
+Runs the canonical core benchmark, checks the determinism contract, and
+compares events/sec against the committed ``BENCH_core.json``. Exits
+non-zero when metrics diverge from the golden values or throughput drops
+more than the threshold at any measured size.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_gate.py                # gate
+    PYTHONPATH=src python scripts/perf_gate.py --update       # refresh baseline
+    PYTHONPATH=src python scripts/perf_gate.py --threshold 0.3
+    PYTHONPATH=src python scripts/perf_gate.py --sizes 50,100 --skip-determinism
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.perf import (  # noqa: E402 (path bootstrap above)
+    check_determinism,
+    compare_bench,
+    run_core_benchmark,
+    write_bench_json,
+)
+
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_core.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, help="committed BENCH_core.json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional events/sec drop (default 0.20)")
+    parser.add_argument("--sizes", default=None,
+                        help="comma-separated organization sizes (default: the baseline's)")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats per size")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with this run instead of gating")
+    parser.add_argument("--skip-determinism", action="store_true",
+                        help="skip the golden-metric determinism check")
+    args = parser.parse_args(argv)
+
+    if not args.skip_determinism:
+        mismatches = check_determinism()
+        if mismatches:
+            print("determinism contract VIOLATED:")
+            for line in mismatches:
+                print(f"  - {line}")
+            return 1
+        print("determinism: OK (golden metrics reproduced bit-for-bit)")
+
+    if args.sizes is not None:
+        try:
+            sizes = tuple(int(part) for part in args.sizes.split(","))
+        except ValueError:
+            parser.error(f"--sizes expects comma-separated integers, got {args.sizes!r}")
+    elif os.path.exists(args.baseline):
+        with open(args.baseline, encoding="utf-8") as handle:
+            sizes = tuple(
+                point["n_peers"] for point in json.load(handle).get("results", [])
+            )
+    else:
+        sizes = (50, 100, 250, 500)
+
+    results = run_core_benchmark(sizes=sizes, repeats=args.repeats)
+    for result in results:
+        print(
+            f"n={result.n_peers:>4}  {result.events_per_sec:>12,.0f} events/s"
+            f"  (events={result.events}, peak heap={result.peak_heap_size})"
+        )
+
+    if args.update:
+        baseline_eps = None
+        if os.path.exists(args.baseline):
+            with open(args.baseline, encoding="utf-8") as handle:
+                baseline_eps = json.load(handle).get("baseline_events_per_sec")
+        write_bench_json(
+            results,
+            args.baseline,
+            baseline_events_per_sec=baseline_eps and {
+                int(n): eps for n, eps in baseline_eps.items()
+            },
+        )
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update to create one")
+        return 1
+    with open(args.baseline, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    current = {
+        "results": [
+            {"n_peers": result.n_peers, "events_per_sec": result.events_per_sec}
+            for result in results
+        ]
+    }
+    committed["results"] = [
+        point for point in committed["results"] if point["n_peers"] in set(sizes)
+    ]
+    failures = compare_bench(current, committed, threshold=args.threshold)
+    if failures:
+        print("PERF GATE FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(f"perf gate passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,14 @@ class Peer(Process):
         self.election: Optional[LeaderElection] = None
         self._validating = False
         self.blocks_received_via = {"orderer": 0, "push": 0, "pull": 0, "recovery": 0}
+        # Digest handling calls get_block once per digest; the instance
+        # attribute shadows the wrapper with the chain lookup directly —
+        # but only when the subclass has not overridden get_block.
+        if type(self).get_block is Peer.get_block:
+            self.get_block = self.blockchain.get_any
+        # The gossip module's exact-type dispatch table, probed directly in
+        # _on_message to skip a call layer on the dominant traffic class.
+        self._gossip_dispatch: Optional[dict] = None
         network.register(self.name, self._on_message)
 
     # ----- wiring ----------------------------------------------------------
@@ -76,6 +84,7 @@ class Peer(Process):
         if self.gossip is not None:
             raise RuntimeError(f"{self.name} already has a gossip module")
         self.gossip = factory(self, self.view)
+        self._gossip_dispatch = getattr(self.gossip, "_dispatch", None)
 
     def attach_background(self, config: BackgroundTrafficConfig) -> None:
         self.background = BackgroundTraffic(self, self.view, config)
@@ -119,6 +128,8 @@ class Peer(Process):
     # ----- GossipHost protocol ---------------------------------------------
 
     def send(self, dst: str, message: Message) -> None:
+        # network.send is deliberately NOT pre-bound: integration tests
+        # wrap it by assignment and must observe gossip traffic.
         if self._alive:
             self.network.send(self.name, dst, message)
 
@@ -136,6 +147,8 @@ class Peer(Process):
         return True
 
     def get_block(self, number: int) -> Optional[Block]:
+        # Shadowed by the bound chain lookup in __init__ unless a subclass
+        # overrides it; documents the GossipHost protocol.
         return self.blockchain.get_any(number)
 
     @property
@@ -150,13 +163,24 @@ class Peer(Process):
     def _on_message(self, src: str, message: Message) -> None:
         if not self._alive:
             return
+        # Gossip traffic dominates by orders of magnitude, so it is tried
+        # first; the module's dispatch table does not know the types below,
+        # so the fallback chain is unchanged semantically. Probing the
+        # module's dispatch table directly skips a call layer; modules
+        # without one (custom subclasses) go through handle().
+        dispatch = self._gossip_dispatch
+        if dispatch is not None:
+            handler = dispatch.get(type(message))
+            if handler is not None:
+                handler(src, message)
+                return
+        elif self.gossip is not None and self.gossip.handle(src, message):
+            return
         if isinstance(message, MembershipAlive):
             return  # background bytes: accounted by the monitor, no logic
         if isinstance(message, LeadershipHeartbeat):
             if self.election is not None:
                 self.election.on_heartbeat(src, message)
-            return
-        if self.gossip is not None and self.gossip.handle(src, message):
             return
         if isinstance(message, OrdererBlock):
             self._on_orderer_block(message.block)

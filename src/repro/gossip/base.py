@@ -63,6 +63,10 @@ class GossipModule:
     def __init__(self, host: GossipHost, view: OrganizationView) -> None:
         self.host = host
         self.view = view
+        # Bound once for the per-message fast path; ``host.send`` resolves
+        # liveness itself, so the binding stays valid across crash/recover.
+        # (getattr: construction-only test doubles may omit ``send``.)
+        self._send = getattr(host, "send", None)
         self._started = False
 
     def start(self) -> None:

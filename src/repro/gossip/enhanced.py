@@ -56,6 +56,19 @@ class EnhancedGossip(GossipModule):
             deliver=self._deliver,
         )
         self._leader_rng = host.rng("leader-initial-gossiper")
+        # Bound once: BlockPush handling calls it on every reception.
+        # (getattr: construction-only test doubles may omit it.)
+        self._deliver_block = getattr(host, "deliver_block", None)
+        # Exact-type dispatch table: one dict probe per message instead of
+        # an isinstance chain (message classes are final by convention).
+        self._dispatch = {
+            BlockPush: self._on_block_push,
+            PushDigest: self.push.on_digest,
+            PushRequest: self.push.on_request,
+            StateInfo: self.recovery.on_state_info,
+            RecoveryRequest: self.recovery.on_recovery_request,
+            RecoveryResponse: self.recovery.on_recovery_response,
+        }
 
     def _start_components(self) -> None:
         self.recovery.start()
@@ -75,27 +88,18 @@ class EnhancedGossip(GossipModule):
         # but it does NOT forward: initiation is delegated.
         self.push._seen_pairs[block.number].add(0)
         targets = self.view.sample_org(self._leader_rng, self.config.leader_fanout)
+        send = self._send
         for target in targets:
-            self.host.send(target, BlockPush(block, counter=0))
+            send(target, BlockPush(block, counter=0))
+
+    def _on_block_push(self, src: str, message: BlockPush) -> None:
+        block = message.block
+        self._deliver_block(block, "push")
+        self.push.on_pair(block, message.counter)
 
     def handle(self, src: str, message: Message) -> bool:
-        if isinstance(message, BlockPush):
-            self._deliver(message.block, via="push")
-            self.push.on_pair(message.block, message.counter)
-            return True
-        if isinstance(message, PushDigest):
-            self.push.on_digest(src, message)
-            return True
-        if isinstance(message, PushRequest):
-            self.push.on_request(src, message)
-            return True
-        if isinstance(message, StateInfo):
-            self.recovery.on_state_info(src, message)
-            return True
-        if isinstance(message, RecoveryRequest):
-            self.recovery.on_recovery_request(src, message)
-            return True
-        if isinstance(message, RecoveryResponse):
-            self.recovery.on_recovery_response(src, message)
-            return True
-        return False
+        handler = self._dispatch.get(type(message))
+        if handler is None:
+            return False
+        handler(src, message)
+        return True

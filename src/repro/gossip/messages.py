@@ -15,6 +15,7 @@ from repro.ledger.block import Block
 
 DIGEST_ENTRY_SIZE = 48  # block number + truncated hash + framing
 STATE_INFO_SIZE = 96  # height, channel MAC, timestamp, identity
+_PUSH_DIGEST_PAYLOAD = DIGEST_ENTRY_SIZE + 8  # + counter field
 
 
 class BlockPush(Message):
@@ -27,16 +28,19 @@ class BlockPush(Message):
     forwards but still answer explicit requests.
     """
 
-    __slots__ = ("block", "counter", "requested")
+    __slots__ = ("block", "counter", "requested", "_payload")
 
     def __init__(self, block: Block, counter: int = 0, requested: bool = False) -> None:
         super().__init__()
         self.block = block
         self.counter = counter
         self.requested = requested
+        # Cached at construction: one instance is shared across a fanout,
+        # so the size lookup runs once instead of once per target.
+        self._payload = block.size_bytes() + 8  # block + counter field
 
     def payload_size(self) -> int:
-        return self.block.size_bytes() + 8  # block + counter field
+        return self._payload
 
 
 class PushDigest(Message):
@@ -51,7 +55,7 @@ class PushDigest(Message):
         self.counter = counter
 
     def payload_size(self) -> int:
-        return DIGEST_ENTRY_SIZE + 8
+        return _PUSH_DIGEST_PAYLOAD
 
 
 class PushRequest(Message):

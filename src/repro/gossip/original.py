@@ -58,6 +58,18 @@ class OriginalGossip(GossipModule):
             deliver=self._deliver,
         )
 
+        # Exact-type dispatch table; see EnhancedGossip.handle.
+        self._dispatch = {
+            BlockPush: self._on_block_push,
+            PullDigestRequest: lambda src, message: self.pull.on_digest_request(src),
+            PullDigestResponse: self.pull.on_digest_response,
+            PullBlockRequest: self.pull.on_block_request,
+            PullBlockResponse: self.pull.on_block_response,
+            StateInfo: self.recovery.on_state_info,
+            RecoveryRequest: self.recovery.on_recovery_request,
+            RecoveryResponse: self.recovery.on_recovery_response,
+        }
+
     def _start_components(self) -> None:
         if self.config.fin > 0:
             self.pull.start()
@@ -67,30 +79,13 @@ class OriginalGossip(GossipModule):
         if self._deliver(block, via="orderer"):
             self.push.on_first_reception(block)
 
+    def _on_block_push(self, src: str, message: BlockPush) -> None:
+        if self._deliver(message.block, via="push"):
+            self.push.on_first_reception(message.block)
+
     def handle(self, src: str, message: Message) -> bool:
-        if isinstance(message, BlockPush):
-            if self._deliver(message.block, via="push"):
-                self.push.on_first_reception(message.block)
-            return True
-        if isinstance(message, PullDigestRequest):
-            self.pull.on_digest_request(src)
-            return True
-        if isinstance(message, PullDigestResponse):
-            self.pull.on_digest_response(src, message)
-            return True
-        if isinstance(message, PullBlockRequest):
-            self.pull.on_block_request(src, message)
-            return True
-        if isinstance(message, PullBlockResponse):
-            self.pull.on_block_response(src, message)
-            return True
-        if isinstance(message, StateInfo):
-            self.recovery.on_state_info(src, message)
-            return True
-        if isinstance(message, RecoveryRequest):
-            self.recovery.on_recovery_request(src, message)
-            return True
-        if isinstance(message, RecoveryResponse):
-            self.recovery.on_recovery_response(src, message)
-            return True
-        return False
+        handler = self._dispatch.get(type(message))
+        if handler is None:
+            return False
+        handler(src, message)
+        return True

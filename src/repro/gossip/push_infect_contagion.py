@@ -76,6 +76,9 @@ class InfectUponContagionPush:
         self.use_digests = use_digests
         self.t_push = t_push
         self._rng = host.rng("iuc-push-targets")
+        # Hot path: bound once, not per message (getattr: construction-only
+        # test doubles may omit ``send``).
+        self._send = getattr(host, "send", None)
         self._on_forward = on_forward
         # Per block: the set of counters already seen (pair dedup).
         self._seen_pairs: Dict[int, Set[int]] = defaultdict(set)
@@ -198,14 +201,20 @@ class InfectUponContagionPush:
         self._transmit(block, counter, targets)
 
     def _transmit(self, block: Block, counter: int, targets: List[str]) -> None:
-        use_digest = self.use_digests and counter > self.ttl_direct
-        for target in targets:
-            if use_digest:
-                self.host.send(target, PushDigest(block.number, block.block_hash, counter))
-                self.digests_sent += 1
-            else:
-                self.host.send(target, BlockPush(block, counter=counter))
-                self.full_pushes_sent += 1
+        # One message instance is shared across the fanout: gossip messages
+        # are immutable after construction and receivers only read fields,
+        # so per-target copies would differ in nothing but allocation cost.
+        send = self._send
+        if self.use_digests and counter > self.ttl_direct:
+            digest = PushDigest(block.number, block.block_hash, counter)
+            for target in targets:
+                send(target, digest)
+            self.digests_sent += len(targets)
+        else:
+            push = BlockPush(block, counter=counter)
+            for target in targets:
+                send(target, push)
+            self.full_pushes_sent += len(targets)
         self.pairs_forwarded += 1
         if self._on_forward is not None:
             self._on_forward(block.number, counter, targets)

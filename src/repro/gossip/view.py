@@ -10,6 +10,7 @@ channel (paper §III-A).
 from __future__ import annotations
 
 import random
+import sys
 from typing import Dict, List, Sequence
 
 from repro.simulation.random import sample_without
@@ -37,11 +38,14 @@ class OrganizationView:
             raise ValueError(f"{self_name!r} not part of its own organization view")
         if leader not in org_peers:
             raise ValueError(f"leader {leader!r} not part of the organization")
-        self.self_name = self_name
-        self.leader = leader
-        self._org_others: List[str] = [name for name in org_peers if name != self_name]
-        self._org_peers: List[str] = list(org_peers)
-        self._channel_others: List[str] = [name for name in channel_peers if name != self_name]
+        # Interned names: every peer name flowing out of a view (gossip
+        # targets, monitor keys, handler lookups) compares by pointer first.
+        intern = sys.intern
+        self.self_name = intern(self_name)
+        self.leader = intern(leader)
+        self._org_others: List[str] = [intern(name) for name in org_peers if name != self_name]
+        self._org_peers: List[str] = [intern(name) for name in org_peers]
+        self._channel_others: List[str] = [intern(name) for name in channel_peers if name != self_name]
 
     @property
     def org_size(self) -> int:

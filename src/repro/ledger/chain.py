@@ -52,10 +52,14 @@ class Blockchain:
         return None
 
     def get_any(self, number: int) -> Optional[Block]:
-        """Committed or buffered block, for serving gossip requests."""
-        committed = self.get_committed(number)
-        if committed is not None:
-            return committed
+        """Committed or buffered block, for serving gossip requests.
+
+        Called once per received digest — the committed-range check is
+        inlined rather than delegated to :meth:`get_committed`.
+        """
+        committed = self._committed
+        if 0 <= number < len(committed):
+            return committed[number]
         return self._pending.get(number)
 
     def receive(self, block: Block) -> bool:

@@ -94,7 +94,13 @@ class DisseminationTracker:
             self._latency.setdefault(block_number, {})
 
     def first_reception(self, peer: str, block_number: int, time: float) -> None:
-        self._absolute.setdefault(block_number, {}).setdefault(peer, time)
+        # Hand-rolled setdefault: avoids allocating the default dict (and
+        # calling two C methods) on the per-reception hot path.
+        receptions = self._absolute.get(block_number)
+        if receptions is None:
+            receptions = self._absolute[block_number] = {}
+        if peer not in receptions:
+            receptions[peer] = time
 
     def committed(self, peer: str, block_number: int, time: float) -> None:
         self.commit_times[(peer, block_number)] = time

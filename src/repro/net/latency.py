@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 import random
+from typing import Callable
 
 
 class LatencyModel:
@@ -18,6 +19,17 @@ class LatencyModel:
 
     def sample(self, rng: random.Random, src: str, dst: str) -> float:
         raise NotImplementedError
+
+    def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
+        """Return a ``(src, dst) -> delay`` sampler pre-bound to ``rng``.
+
+        The network calls the sampler once per message, so subclasses
+        specialize this to hoist attribute lookups out of the per-message
+        path. Bound samplers MUST draw from ``rng`` exactly like
+        :meth:`sample` — the determinism contract compares metrics
+        bit-for-bit across refactors.
+        """
+        return lambda src, dst: self.sample(rng, src, dst)
 
 
 class ConstantLatency(LatencyModel):
@@ -31,6 +43,10 @@ class ConstantLatency(LatencyModel):
     def sample(self, rng: random.Random, src: str, dst: str) -> float:
         return self.delay
 
+    def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
+        delay = self.delay
+        return lambda src, dst: delay
+
 
 class UniformLatency(LatencyModel):
     """Uniform delay in ``[low, high]``."""
@@ -43,6 +59,11 @@ class UniformLatency(LatencyModel):
 
     def sample(self, rng: random.Random, src: str, dst: str) -> float:
         return rng.uniform(self.low, self.high)
+
+    def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
+        uniform = rng.uniform
+        low, high = self.low, self.high
+        return lambda src, dst: uniform(low, high)
 
 
 class WanLatency(LatencyModel):
@@ -110,3 +131,29 @@ class LanLatency(LatencyModel):
         if self._mu is not None:
             jitter = rng.lognormvariate(self._mu, self.jitter_sigma)
         return self.base + jitter
+
+    def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
+        base = self.base
+        if self._mu is None:
+            return lambda src, dst: base
+        # Inline of rng.lognormvariate(mu, sigma) — the stdlib pair of call
+        # frames (lognormvariate -> normalvariate) costs more than the draw
+        # itself on this path. The loop replicates random.normalvariate's
+        # Kinderman-Monahan rejection sampling verbatim (same NV_MAGICCONST,
+        # same order of rng.random() consumption), so the draw sequence and
+        # results are bit-for-bit those of the un-bound sample().
+        mu, sigma = self._mu, self.jitter_sigma
+        uniform = rng.random
+        nv_magic = random.NV_MAGICCONST
+        log_, exp_ = math.log, math.exp
+
+        def sample(src: str, dst: str) -> float:
+            while True:
+                u1 = uniform()
+                u2 = 1.0 - uniform()
+                z = nv_magic * (u1 - 0.5) / u2
+                if z * z / 4.0 <= -log_(u2):
+                    break
+            return base + exp_(mu + z * sigma)
+
+        return sample

@@ -18,15 +18,34 @@ class Message:
 
     Subclasses override :meth:`payload_size` (bytes). Each instance gets a
     unique ``msg_id`` for tracing. ``kind`` defaults to the class name and is
-    the key under which the traffic monitor aggregates byte counts.
+    the key under which the traffic monitor aggregates byte counts; it is
+    materialized as a plain class attribute on each subclass (unless the
+    subclass defines its own ``kind``), so the per-send monitor lookup costs
+    one attribute read instead of a property call computing ``type(...)``.
     """
 
     _ids = itertools.count()
 
-    __slots__ = ("msg_id",)
+    __slots__ = ("_msg_id",)
 
-    def __init__(self) -> None:
-        self.msg_id = next(Message._ids)
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if "kind" not in cls.__dict__:
+            cls.kind = cls.__name__
+
+    @property
+    def msg_id(self) -> int:
+        """Unique id for tracing, assigned lazily on first access.
+
+        Laziness keeps message construction free of any base-class work on
+        the hot path; ids are unique but reflect access order, not
+        construction order.
+        """
+        try:
+            return self._msg_id
+        except AttributeError:
+            self._msg_id = next(Message._ids)
+            return self._msg_id
 
     @property
     def kind(self) -> str:

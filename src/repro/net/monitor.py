@@ -6,13 +6,34 @@ message individually would cost too much memory over millions of messages,
 so the monitor bins bytes on the fly into fixed-width buckets per node and
 direction, and additionally keeps whole-run totals per message kind (used to
 count full-block transmissions, digest overhead, etc.).
+
+The store is one record per node — ``[tx_bins, rx_bins, tx_kinds,
+rx_kinds, tx_overflow, rx_overflow]`` — where the bins are plain lists
+indexed by bin number and grown on demand (with a sparse dict overflow for
+far-future jumps), and the kind maps accumulate ``[messages, bytes]``
+pairs.
+The hot :meth:`TrafficMonitor.record` path is therefore two string-keyed
+dict probes (interned peer names), two list-index increments and two
+kind-counter bumps; no dataclass construction, tuple keys, string
+formatting or global counters per message. Aggregate
+:class:`TrafficTotals` views are materialized lazily by summing the tx
+side of the per-node records (each message is counted exactly once there).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
+
+# Node record slots. The *_OVER dicts hold sparse far-future bins so a
+# single record at a huge timestamp cannot force an O(timestamp) dense
+# allocation (see record()).
+_TX_BINS, _RX_BINS, _TX_KINDS, _RX_KINDS, _TX_OVER, _RX_OVER = range(6)
+
+# A dense bin list only grows contiguously by at most this many bins per
+# record; larger jumps (idle gaps, stray far-future timers) go to the
+# sparse overflow dict instead.
+_MAX_DENSE_GROWTH = 4096
 
 
 @dataclass
@@ -41,28 +62,84 @@ class TrafficMonitor:
             the ability to compute both fine- and coarse-grained series.
     """
 
+    __slots__ = ("bin_width", "_unit_bins", "_node", "_last_time")
+
     def __init__(self, bin_width: float = 1.0) -> None:
         if bin_width <= 0:
             raise ValueError(f"bin width must be positive, got {bin_width}")
         self.bin_width = bin_width
-        self._tx: Dict[str, Dict[int, int]] = defaultdict(dict)
-        self._rx: Dict[str, Dict[int, int]] = defaultdict(dict)
-        self.totals = TrafficTotals()
-        self._per_node_totals: Dict[str, TrafficTotals] = defaultdict(TrafficTotals)
+        self._unit_bins = bin_width == 1.0  # skip the division on the default
+        # node -> [tx_bins, rx_bins, tx_kinds, rx_kinds, tx_over, rx_over].
+        self._node: Dict[str, list] = {}
         self._last_time = 0.0
 
     def record(self, time: float, src: str, dst: str, kind: str, size: int) -> None:
         """Account one message of ``size`` bytes sent at ``time``."""
-        bin_index = int(time / self.bin_width)
-        tx_bins = self._tx[src]
-        tx_bins[bin_index] = tx_bins.get(bin_index, 0) + size
-        rx_bins = self._rx[dst]
-        rx_bins[bin_index] = rx_bins.get(bin_index, 0) + size
-        self.totals.record(kind, size)
-        self._per_node_totals[src].record(f"tx:{kind}", size)
-        self._per_node_totals[dst].record(f"rx:{kind}", size)
+        bin_index = int(time) if self._unit_bins else int(time / self.bin_width)
+        node = self._node
+        src_record = node.get(src)
+        if src_record is None:
+            src_record = node[src] = [[], [], {}, {}, {}, {}]
+        dst_record = node.get(dst)
+        if dst_record is None:
+            dst_record = node[dst] = [[], [], {}, {}, {}, {}]
+        bins = src_record[_TX_BINS]
+        grow = bin_index + 1 - len(bins)
+        if grow <= 0:
+            bins[bin_index] += size
+        elif grow <= _MAX_DENSE_GROWTH:
+            bins.extend([0] * grow)
+            bins[bin_index] += size
+        else:
+            # Far beyond the dense tail: sparse overflow, so one stray
+            # far-future record cannot force an O(timestamp) allocation.
+            overflow = src_record[_TX_OVER]
+            overflow[bin_index] = overflow.get(bin_index, 0) + size
+        bins = dst_record[_RX_BINS]
+        grow = bin_index + 1 - len(bins)
+        if grow <= 0:
+            bins[bin_index] += size
+        elif grow <= _MAX_DENSE_GROWTH:
+            bins.extend([0] * grow)
+            bins[bin_index] += size
+        else:
+            overflow = dst_record[_RX_OVER]
+            overflow[bin_index] = overflow.get(bin_index, 0) + size
+        kinds = src_record[_TX_KINDS]
+        acc = kinds.get(kind)
+        if acc is None:
+            kinds[kind] = [1, size]
+        else:
+            acc[0] += 1
+            acc[1] += size
+        kinds = dst_record[_RX_KINDS]
+        acc = kinds.get(kind)
+        if acc is None:
+            kinds[kind] = [1, size]
+        else:
+            acc[0] += 1
+            acc[1] += size
         if time > self._last_time:
             self._last_time = time
+
+    @property
+    def totals(self) -> TrafficTotals:
+        """Whole-run totals, materialized lazily from the per-node records.
+
+        Every message is counted exactly once on its sender's tx side, so
+        summing tx kind stats across nodes reproduces the global totals
+        without any dedicated per-message bookkeeping.
+        """
+        totals = TrafficTotals()
+        by_kind_messages = totals.by_kind_messages
+        by_kind_bytes = totals.by_kind_bytes
+        for record in self._node.values():
+            for kind, (messages, size) in record[_TX_KINDS].items():
+                totals.messages += messages
+                totals.bytes += size
+                by_kind_messages[kind] = by_kind_messages.get(kind, 0) + messages
+                by_kind_bytes[kind] = by_kind_bytes.get(kind, 0) + size
+        return totals
 
     @property
     def last_time(self) -> float:
@@ -71,11 +148,21 @@ class TrafficMonitor:
 
     def nodes(self) -> List[str]:
         """All node names that sent or received at least one message."""
-        return sorted(set(self._tx) | set(self._rx))
+        return sorted(self._node)
 
     def node_totals(self, node: str) -> TrafficTotals:
         """Whole-run totals for one node (kinds prefixed ``tx:``/``rx:``)."""
-        return self._per_node_totals[node]
+        totals = TrafficTotals()
+        record = self._node.get(node)
+        if record is None:
+            return totals
+        for prefix, kinds in (("tx:", record[_TX_KINDS]), ("rx:", record[_RX_KINDS])):
+            for kind, (messages, size) in kinds.items():
+                totals.messages += messages
+                totals.bytes += size
+                totals.by_kind_messages[prefix + kind] = messages
+                totals.by_kind_bytes[prefix + kind] = size
+        return totals
 
     def series(
         self,
@@ -93,18 +180,27 @@ class TrafficMonitor:
         """
         if direction not in ("tx", "rx", "both"):
             raise ValueError(f"unknown direction {direction!r}")
-        sources: Iterable[Dict[int, int]]
-        if direction == "tx":
-            sources = [self._tx.get(node, {})]
+        record = self._node.get(node)
+        if record is None:
+            sources: List[tuple] = []
+        elif direction == "tx":
+            sources = [(record[_TX_BINS], record[_TX_OVER])]
         elif direction == "rx":
-            sources = [self._rx.get(node, {})]
+            sources = [(record[_RX_BINS], record[_RX_OVER])]
         else:
-            sources = [self._tx.get(node, {}), self._rx.get(node, {})]
+            sources = [
+                (record[_TX_BINS], record[_TX_OVER]),
+                (record[_RX_BINS], record[_RX_OVER]),
+            ]
         horizon = self._last_time if end_time is None else end_time
         n_bins = int(horizon / self.bin_width) + 1
         values = [0.0] * n_bins
-        for bins in sources:
-            for index, size in bins.items():
+        for bins, overflow in sources:
+            for index in range(min(len(bins), n_bins)):
+                size = bins[index]
+                if size:
+                    values[index] += size
+            for index, size in overflow.items():
                 if index < n_bins:
                     values[index] += size
         return values
@@ -130,4 +226,8 @@ class TrafficMonitor:
 
     def network_total_bytes(self) -> int:
         """Total bytes carried by the network over the whole run."""
-        return self.totals.bytes
+        return sum(
+            size
+            for record in self._node.values()
+            for _, size in record[_TX_KINDS].values()
+        )

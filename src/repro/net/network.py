@@ -12,12 +12,20 @@ Delivery time of a message from A to B decomposes as:
 
 Nodes register a handler; the fault layer can additionally drop messages or
 disconnect nodes. All traffic is accounted in the :class:`TrafficMonitor`.
+
+``send`` is the single hottest function of the whole simulator (every
+gossip message passes through it two or three times as scheduled events),
+so the config, latency sampler and monitor lookups are hoisted into bound
+attributes at construction time and events are scheduled through the
+engine's handle-free :meth:`~repro.simulation.engine.Simulator.schedule_call`
+fast path.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.net.latency import LanLatency, LatencyModel
 from repro.net.message import Message
@@ -62,6 +70,8 @@ class Network:
     topology restriction; access control lives in the protocol layer.
     """
 
+    # No __slots__: integration tests wrap ``send`` by assignment.
+
     def __init__(
         self,
         sim: Simulator,
@@ -80,12 +90,21 @@ class Network:
         self.monitor = TrafficMonitor(bin_width=self.config.monitor_bin_width)
         self.dropped_messages = 0
         self._drop_filter: Optional[Callable[[str, str, Message], bool]] = None
+        # Hot-path hoists: one attribute lookup at construction instead of
+        # several per message.
+        self._bandwidth = self.config.bandwidth
+        self._overhead = self.config.envelope_overhead
+        self._queue_min = self.config.downlink_queue_min_bytes
+        self._sample_latency = self.config.latency_model.bind(self._rng)
+        self._record = self.monitor.record
 
     def register(self, name: str, handler: Handler) -> None:
         """Attach a process; ``handler(src, message)`` is called on delivery."""
         if name in self._handlers:
             raise ValueError(f"node {name!r} already registered")
-        self._handlers[name] = handler
+        # Interned names make every per-message dict probe a pointer
+        # comparison in the common case.
+        self._handlers[sys.intern(name)] = handler
 
     def unregister(self, name: str) -> None:
         self._handlers.pop(name, None)
@@ -100,7 +119,7 @@ class Network:
 
     def wire_size(self, message: Message) -> int:
         """Bytes on the wire: payload plus fixed envelope."""
-        return message.payload_size() + self.config.envelope_overhead
+        return message.payload_size() + self._overhead
 
     def send(self, src: str, dst: str, message: Message) -> None:
         """Send ``message`` from ``src`` to ``dst``.
@@ -108,44 +127,51 @@ class Network:
         Sends to unknown or disconnected destinations are silently dropped,
         like packets to a crashed host; sends from a disconnected source are
         dropped too. Self-sends are rejected — the protocols never need them.
+        Validation happens before any traffic is recorded, so a rejected
+        send never pollutes the monitor.
         """
         if src == dst:
             raise ValueError(f"{src!r} attempted to send a message to itself")
         if src not in self._handlers:
             raise ValueError(f"unknown source node {src!r}")
-        size = self.wire_size(message)
-        if self._disconnected.get(src) or self._disconnected.get(dst):
+        size = message.payload_size() + self._overhead
+        disconnected = self._disconnected
+        if disconnected and (disconnected.get(src) or disconnected.get(dst)):
             self.dropped_messages += 1
             return
         if self._drop_filter is not None and self._drop_filter(src, dst, message):
             self.dropped_messages += 1
             return
-        now = self.sim.now
+        sim = self.sim
+        now = sim._now  # friend access: skips the property call per message
         # The monitor accounts the message at send time: utilization plots
         # reflect when bytes enter the network, as a host-side counter would.
-        self.monitor.record(now, src, dst, message.kind, size)
-        transfer = size / self.config.bandwidth
-        uplink_start = max(now, self._uplink_free_at.get(src, 0.0))
-        uplink_done = uplink_start + transfer
-        self._uplink_free_at[src] = uplink_done
-        arrival = uplink_done + self.config.latency_model.sample(self._rng, src, dst)
-        if size < self.config.downlink_queue_min_bytes:
-            self.sim.schedule_at(arrival + transfer, self._deliver, src, dst, message)
+        self._record(now, src, dst, message.kind, size)
+        transfer = size / self._bandwidth
+        uplink_free_at = self._uplink_free_at
+        free_at = uplink_free_at.get(src, 0.0)
+        uplink_done = (free_at if free_at > now else now) + transfer
+        uplink_free_at[src] = uplink_done
+        arrival = uplink_done + self._sample_latency(src, dst)
+        if size < self._queue_min:
+            sim.schedule_call(arrival + transfer, self._deliver, (src, dst, message))
             return
         # Receive-side queueing must be resolved in ARRIVAL order, not send
         # order: an early-sent message on a slow (WAN) path must not
         # reserve the receiver's downlink ahead of later-sent messages on
         # fast paths. Large messages therefore take a two-phase schedule.
-        self.sim.schedule_at(arrival, self._arrive, src, dst, message, transfer)
+        sim.schedule_call(arrival, self._arrive, (src, dst, message, transfer))
 
     def _arrive(self, src: str, dst: str, message: Message, transfer: float) -> None:
-        start = max(self.sim.now, self._downlink_free_at.get(dst, 0.0))
-        delivered = start + transfer
+        now = self.sim._now
+        free_at = self._downlink_free_at.get(dst, 0.0)
+        delivered = (free_at if free_at > now else now) + transfer
         self._downlink_free_at[dst] = delivered
-        self.sim.schedule_at(delivered, self._deliver, src, dst, message)
+        self.sim.schedule_call(delivered, self._deliver, (src, dst, message))
 
     def _deliver(self, src: str, dst: str, message: Message) -> None:
-        if self._disconnected.get(dst):
+        disconnected = self._disconnected
+        if disconnected and disconnected.get(dst):
             self.dropped_messages += 1
             return
         handler = self._handlers.get(dst)
@@ -154,11 +180,17 @@ class Network:
             return
         handler(src, message)
 
-    def broadcast(self, src: str, dsts: list, message_factory: Callable[[], Message]) -> None:
+    def broadcast(self, src: str, dsts: Sequence[str], message_factory: Callable[[], Message]) -> None:
         """Send an independent copy of a message to each destination.
 
         A factory is taken instead of an instance so each copy gets its own
         ``msg_id`` and can be mutated independently (e.g. per-hop counters).
+        The source is validated once up front — before any copy is built or
+        any traffic recorded — and the bound ``send`` is reused across the
+        loop instead of resolving it per destination.
         """
+        if src not in self._handlers:
+            raise ValueError(f"unknown source node {src!r}")
+        send = self.send
         for dst in dsts:
-            self.send(src, dst, message_factory())
+            send(src, dst, message_factory())

@@ -1,0 +1,36 @@
+"""Performance harness for the simulation core.
+
+Two concerns live here:
+
+* :mod:`repro.perf.profile` — timing/profiling of the canonical
+  dissemination scenario: events/sec, wall time and peak heap size across
+  organization sizes, emitted as ``BENCH_core.json``;
+* :mod:`repro.perf.regression` — the determinism checker (same seed must
+  reproduce the committed golden metrics bit-for-bit across refactors of
+  the hot path) and the >20% throughput-regression gate used by
+  ``scripts/perf_gate.py``.
+"""
+
+from repro.perf.profile import (
+    CoreBenchResult,
+    profile_core,
+    run_core_benchmark,
+    write_bench_json,
+)
+from repro.perf.regression import (
+    GOLDEN_METRICS,
+    check_determinism,
+    compare_bench,
+    metric_snapshot,
+)
+
+__all__ = [
+    "CoreBenchResult",
+    "GOLDEN_METRICS",
+    "check_determinism",
+    "compare_bench",
+    "metric_snapshot",
+    "profile_core",
+    "run_core_benchmark",
+    "write_bench_json",
+]

@@ -1,0 +1,164 @@
+"""Determinism checker and throughput-regression gate.
+
+Determinism
+-----------
+
+``GOLDEN_METRICS`` below was captured from the **pre-refactor** engine
+(object heap, per-message dict accounting) on fixed seeds; the refactored
+fast path must reproduce every value bit-for-bit — event counts, latency
+statistics as exact floats, and byte totals. ``check_determinism()`` reruns
+the scenarios and reports any divergence; it is wired into
+``benchmarks/bench_core_engine.py`` and the test suite, so any future
+"optimization" that silently perturbs event order or RNG consumption fails
+immediately.
+
+Regression gate
+---------------
+
+``compare_bench`` compares a freshly measured ``BENCH_core.json`` payload
+against the committed baseline and flags any size whose events/sec dropped
+more than ``threshold`` (default 20%). ``scripts/perf_gate.py`` is the CLI
+wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.dissemination import DisseminationConfig, run_dissemination
+from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
+
+# Captured with the pre-refactor simulation core (see module docstring).
+# Floats are intentionally written at full precision: the contract is exact
+# equality, not approximation.
+GOLDEN_METRICS: Dict[str, dict] = {
+    "enhanced-n50-b6-seed1": {
+        "events_executed": 8704,
+        "final_time": 10.0,
+        "latency_max": 0.1559637450083553,
+        "latency_mean": 0.0918034633770091,
+        "latency_p50": 0.10444591993462504,
+        "latency_p95": 0.13678896680420938,
+        "total_bytes": 53499552,
+        "total_messages": 7899,
+        "by_kind_bytes": {
+            "BlockPush": 50162112,
+            "OrdererBlock": 964608,
+            "PushDigest": 2190240,
+            "PushRequest": 50592,
+            "StateInfo": 132000,
+        },
+    },
+    "enhanced-n50-b6-seed2": {
+        "events_executed": 8675,
+        "final_time": 10.0,
+        "latency_max": 0.16387056176106007,
+        "latency_mean": 0.09095337782018395,
+        "latency_p50": 0.10385482506078025,
+        "latency_p95": 0.13594115099028334,
+        "total_bytes": 53650616,
+        "total_messages": 7869,
+        "by_kind_bytes": {
+            "BlockPush": 50322888,
+            "OrdererBlock": 964608,
+            "PushDigest": 2180256,
+            "PushRequest": 50864,
+            "StateInfo": 132000,
+        },
+    },
+    "original-n30-b4-seed1": {
+        "events_executed": 1895,
+        "final_time": 11.0,
+        "latency_max": 3.969228618316989,
+        "latency_mean": 0.3078444580471394,
+        "latency_p50": 0.08652314156388496,
+        "latency_p95": 2.4359620035028438,
+        "total_bytes": 55247776,
+        "total_messages": 1115,
+        "by_kind_bytes": {
+            "BlockPush": 52091424,
+            "OrdererBlock": 643072,
+            "PullBlockRequest": 3920,
+            "PullBlockResponse": 2250976,
+            "PullDigestRequest": 69360,
+            "PullDigestResponse": 101376,
+            "StateInfo": 87648,
+        },
+    },
+}
+
+_SCENARIOS = {
+    "enhanced-n50-b6-seed1": (
+        lambda: EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 1),
+    "enhanced-n50-b6-seed2": (
+        lambda: EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 2),
+    "original-n30-b4-seed1": (lambda: OriginalGossipConfig(), 30, 4, 1),
+}
+
+
+def metric_snapshot(gossip, n_peers: int, blocks: int, seed: int) -> dict:
+    """Run one dissemination scenario and snapshot its comparable metrics."""
+    config = DisseminationConfig(
+        gossip=gossip, n_peers=n_peers, blocks=blocks, block_period=1.5, seed=seed
+    )
+    result = run_dissemination(config)
+    stats = result.latency_summary()
+    totals = result.net.network.monitor.totals
+    return {
+        "events_executed": result.net.sim.events_executed,
+        "final_time": result.net.sim.now,
+        "latency_max": stats.maximum,
+        "latency_mean": stats.mean,
+        "latency_p50": stats.p50,
+        "latency_p95": stats.p95,
+        "total_bytes": totals.bytes,
+        "total_messages": totals.messages,
+        "by_kind_bytes": dict(sorted(totals.by_kind_bytes.items())),
+    }
+
+
+def check_determinism(scenarios: Dict[str, tuple] = _SCENARIOS) -> List[str]:
+    """Replay the golden scenarios; return human-readable mismatches.
+
+    An empty list means the current engine reproduces the pre-refactor
+    metrics bit-for-bit.
+    """
+    mismatches: List[str] = []
+    for name, (gossip_factory, n_peers, blocks, seed) in scenarios.items():
+        golden = GOLDEN_METRICS[name]
+        current = metric_snapshot(gossip_factory(), n_peers, blocks, seed)
+        for key, expected in golden.items():
+            actual = current.get(key)
+            if actual != expected:
+                mismatches.append(
+                    f"{name}: {key} diverged — golden {expected!r}, current {actual!r}"
+                )
+    return mismatches
+
+
+def compare_bench(
+    current: dict, baseline: dict, threshold: float = 0.20
+) -> List[str]:
+    """Compare two ``BENCH_core.json`` payloads; return regression messages.
+
+    A point regresses when its events/sec falls more than ``threshold``
+    below the baseline's. Sizes present in the baseline but missing from
+    the current run are reported too (silent coverage loss is a failure).
+    """
+    failures: List[str] = []
+    baseline_points = {point["n_peers"]: point for point in baseline.get("results", [])}
+    current_points = {point["n_peers"]: point for point in current.get("results", [])}
+    for n_peers, base_point in sorted(baseline_points.items()):
+        point = current_points.get(n_peers)
+        if point is None:
+            failures.append(f"n={n_peers}: missing from current benchmark run")
+            continue
+        base_eps = base_point["events_per_sec"]
+        current_eps = point["events_per_sec"]
+        if current_eps < base_eps * (1.0 - threshold):
+            failures.append(
+                f"n={n_peers}: events/sec regressed {1.0 - current_eps / base_eps:.1%} "
+                f"({current_eps:,.0f} vs baseline {base_eps:,.0f}, "
+                f"threshold {threshold:.0%})"
+            )
+    return failures

@@ -1,20 +1,62 @@
 """Deterministic discrete-event simulation engine.
 
 The :class:`Simulator` is a classic heap-based event loop. Events are
-callbacks scheduled at absolute simulated times. Determinism matters for
-reproducibility: ties on the event time are broken by a monotonically
-increasing sequence number, so two runs with the same seed replay the exact
-same event order.
+callbacks scheduled at absolute simulated times. The engine knows nothing
+about networks or blockchains; those are layered on top in :mod:`repro.net`
+and :mod:`repro.fabric`.
 
-The engine knows nothing about networks or blockchains; those are layered on
-top in :mod:`repro.net` and :mod:`repro.fabric`.
+Heap layout
+-----------
+
+The heap stores plain five-element lists rather than handle objects::
+
+    [time, seq, callback, args, handle]
+
+``heapq`` then compares entries with C-level list comparison: ``time``
+first, then the monotonically increasing ``seq``, which is unique, so the
+comparison never reaches the callback. This removes the per-comparison
+Python ``__lt__`` dispatch that dominated the old object heap (hundreds of
+thousands of calls per simulated second at paper scale).
+
+Cancellation is lazy and in-place: cancelling sets ``entry[2]`` (the
+callback) to ``None``; the entry stays in the heap and is discarded when it
+surfaces. Executed and discarded entries are recycled through a bounded
+free list, so steady-state scheduling allocates no new lists. When lazily
+cancelled entries exceed half the heap (mass timer cancellation, e.g. a
+crash fault stopping every periodic component), the heap is compacted in
+one pass to bound memory in long runs.
+
+``schedule``/``schedule_at`` return an :class:`EventHandle` wrapper for
+callers that may cancel; the internal :meth:`Simulator.schedule_call` fast
+path skips the wrapper allocation entirely and is what the network layer
+uses for its per-message events.
+
+Determinism contract
+--------------------
+
+Reproducibility is bit-for-bit: with a fixed seed, two runs execute the
+exact same events in the exact same order at the exact same times, and all
+derived metrics (latency samples, byte counts) are equal as floats. Ties on
+the event time are broken by the scheduling sequence number. Any refactor
+of this module must preserve (a) the ``(time, seq)`` ordering, (b) the
+assignment of sequence numbers in scheduling order, and (c) the relative
+order of callback execution and clock advancement. The checker in
+:mod:`repro.perf.regression` asserts this contract against committed golden
+metrics.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, List, Optional
+
+_INF = float("inf")
+
+# Heap entry slots: [time, seq, callback, args, handle]. ``callback is
+# None`` marks a lazily cancelled entry.
+_ENTRY_POOL_MAX = 4096
+# Compact when stale (cancelled-in-heap) entries pass both thresholds.
+_COMPACT_MIN_STALE = 64
 
 
 class SimulationError(RuntimeError):
@@ -28,31 +70,43 @@ class EventHandle:
     surfaces. ``handle.cancelled`` and ``handle.executed`` expose the state.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "executed")
+    __slots__ = ("time", "seq", "_sim", "_entry", "_cancelled", "_fired")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-        self.executed = False
+    def __init__(self, sim: "Simulator", entry: list) -> None:
+        self.time = entry[0]
+        self.seq = entry[1]
+        self._sim = sim
+        self._entry = entry
+        self._cancelled = False
+        self._fired = False
 
-    def cancel(self) -> None:
-        """Cancel the event. Cancelling an executed event is a no-op."""
-        if not self.executed:
-            self.cancelled = True
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def executed(self) -> bool:
+        return self._fired
 
     @property
     def pending(self) -> bool:
         """True while the event is still waiting to fire."""
-        return not self.cancelled and not self.executed
+        return not self._cancelled and not self._fired
 
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    def cancel(self) -> None:
+        """Cancel the event. Cancelling an executed event is a no-op."""
+        if self._fired or self._cancelled:
+            return
+        self._cancelled = True
+        entry = self._entry
+        self._entry = None
+        entry[2] = None
+        entry[3] = None
+        entry[4] = None
+        self._sim._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else ("done" if self.executed else "pending")
+        state = "cancelled" if self._cancelled else ("done" if self._fired else "pending")
         return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
 
 
@@ -68,12 +122,28 @@ class Simulator:
     All times are in simulated seconds. The simulator starts at time 0.
     """
 
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_heap",
+        "_running",
+        "_events_executed",
+        "_live",
+        "_stale",
+        "_pool",
+        "_peak_heap",
+    )
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: List[EventHandle] = []
+        self._heap: List[list] = []
         self._running = False
         self._events_executed = 0
+        self._live = 0  # scheduled minus cancelled minus executed: O(1)
+        self._stale = 0  # lazily cancelled entries still in the heap
+        self._pool: List[list] = []
+        self._peak_heap = 0
 
     @property
     def now(self) -> float:
@@ -87,8 +157,17 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including lazily cancelled ones)."""
-        return sum(1 for event in self._heap if event.pending)
+        """Number of live queued events, excluding lazily cancelled ones.
+
+        Maintained as an O(1) counter; the old implementation scanned the
+        whole heap.
+        """
+        return self._live
+
+    @property
+    def peak_heap_size(self) -> int:
+        """Largest heap length observed (perf instrumentation)."""
+        return self._peak_heap
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
@@ -101,16 +180,91 @@ class Simulator:
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
-        if math.isnan(time) or math.isinf(time):
-            raise SimulationError(f"invalid event time: {time}")
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at t={time} before current time t={self._now}"
-            )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        entry = self._push(time, callback, args)
+        handle = EventHandle(self, entry)
+        entry[4] = handle
         return handle
+
+    def schedule_call(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> None:
+        """Fast-path schedule without an :class:`EventHandle`.
+
+        For hot callers that never cancel (the network layer schedules two
+        to three events per message); skips the handle allocation. The body
+        duplicates :meth:`_push` to save a call frame per event.
+        """
+        if not (self._now <= time < _INF):
+            self._reject_time(time)
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = time
+            entry[1] = self._seq
+            entry[2] = callback
+            entry[3] = args
+            entry[4] = None
+        else:
+            entry = [time, self._seq, callback, args, None]
+        self._seq += 1
+        heap = self._heap
+        _heappush(heap, entry)
+        self._live += 1
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+
+    def _push(self, time: float, callback: Callable[..., Any], args: tuple) -> list:
+        # ``not (now <= time < inf)`` is a single guard catching NaN
+        # (comparisons are False), +/-inf and past times at once.
+        if not (self._now <= time < _INF):
+            self._reject_time(time)
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = time
+            entry[1] = self._seq
+            entry[2] = callback
+            entry[3] = args
+            entry[4] = None
+        else:
+            entry = [time, self._seq, callback, args, None]
+        self._seq += 1
+        heap = self._heap
+        _heappush(heap, entry)
+        self._live += 1
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+        return entry
+
+    def _reject_time(self, time: float) -> None:
+        if time != time or time == _INF:
+            raise SimulationError(f"invalid event time: {time}")
+        raise SimulationError(
+            f"cannot schedule at t={time} before current time t={self._now}"
+        )
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._stale += 1
+        heap_len = len(self._heap)
+        if self._stale > _COMPACT_MIN_STALE and self._stale * 2 >= heap_len:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop lazily cancelled entries and re-heapify in one pass.
+
+        Bounds memory when timers are cancelled en masse (crash faults in
+        long recovery/background runs) instead of letting dead entries
+        accumulate until their scheduled times.
+        """
+        pool = self._pool
+        live_entries = []
+        for entry in self._heap:
+            if entry[2] is not None:
+                live_entries.append(entry)
+            elif len(pool) < _ENTRY_POOL_MAX:
+                pool.append(entry)
+        _heapify(live_entries)
+        self._heap = live_entries
+        self._stale = 0
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the event loop.
@@ -128,21 +282,46 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        # Executed-event accounting is batched into locals and flushed in
+        # the ``finally`` block: one attribute read-modify-write per run()
+        # instead of two per event. ``_live``/``_events_executed`` are
+        # therefore only exact while the loop is not executing a callback,
+        # which is when anyone queries them.
         executed = 0
+        heappop = _heappop
+        pool = self._pool
+        heap = self._heap
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                entry = heap[0]
+                callback = entry[2]
+                if callback is None:
+                    heappop(heap)
+                    self._stale -= 1
+                    if len(pool) < _ENTRY_POOL_MAX:
+                        pool.append(entry)
                     continue
-                if until is not None and event.time > until:
+                event_time = entry[0]
+                if until is not None and event_time > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                event.executed = True
-                event.callback(*event.args)
-                self._events_executed += 1
+                heappop(heap)
+                self._now = event_time
+                args = entry[3]
+                handle = entry[4]
+                if handle is not None:
+                    handle._fired = True
+                    handle._entry = None
+                entry[2] = None
+                entry[3] = None
+                entry[4] = None
+                if len(pool) < _ENTRY_POOL_MAX:
+                    pool.append(entry)
                 executed += 1
+                callback(*args)
+                # _compact() (reachable only through a cancel inside the
+                # callback) swaps the heap list object; re-bind after each
+                # callback, the only place the swap can happen.
+                heap = self._heap
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; possible runaway simulation"
@@ -151,6 +330,8 @@ class Simulator:
                 self._now = until
             return self._now
         finally:
+            self._events_executed += executed
+            self._live -= executed
             self._running = False
 
     def run_until_idle(self, max_time: Optional[float] = None) -> float:
@@ -164,7 +345,11 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._heap.clear()
+        self._pool.clear()
         self._events_executed = 0
+        self._live = 0
+        self._stale = 0
+        self._peak_heap = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"
+        return f"<Simulator t={self._now:.6f} pending={self._live}>"

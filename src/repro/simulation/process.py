@@ -37,7 +37,7 @@ class Process:
     @property
     def now(self) -> float:
         """Current simulated time."""
-        return self.sim.now
+        return self.sim._now  # friend access: one property call, not two
 
     @property
     def alive(self) -> bool:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+from math import ceil, log
 from typing import Dict, List, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -63,9 +64,41 @@ def sample_without(
     peers uniformly at random among the other peers. If fewer than ``k``
     candidates remain the whole candidate set is returned (in random order).
     """
-    excluded = set(exclude)
-    candidates = [item for item in population if item not in excluded]
-    if k >= len(candidates):
-        rng.shuffle(candidates)
-        return candidates
-    return rng.sample(candidates, k)
+    if exclude:
+        excluded = set(exclude)
+        candidates: Sequence[T] = [item for item in population if item not in excluded]
+    else:
+        # No exclusions: sample straight from the population without the
+        # per-call copy (the copy dominated gossip target selection).
+        candidates = population
+    n = len(candidates)
+    if k >= n:
+        shuffled = list(candidates)
+        rng.shuffle(shuffled)
+        return shuffled
+    # Inline of random.Random.sample (CPython 3.9+ algorithm) minus its
+    # per-call ABC isinstance check and counts machinery. It MUST consume
+    # ``rng._randbelow`` draws exactly like rng.sample(candidates, k) —
+    # gossip target selection is the single biggest RNG consumer and the
+    # determinism contract pins the draw sequence bit-for-bit.
+    randbelow = rng._randbelow
+    result: List[T] = [None] * k  # type: ignore[list-item]
+    setsize = 21
+    if k > 5:
+        setsize += 4 ** ceil(log(k * 3, 4))
+    if n <= setsize:
+        pool = list(candidates)
+        for i in range(k):
+            j = randbelow(n - i)
+            result[i] = pool[j]
+            pool[j] = pool[n - i - 1]
+    else:
+        selected: set = set()
+        selected_add = selected.add
+        for i in range(k):
+            j = randbelow(n)
+            while j in selected:
+                j = randbelow(n)
+            selected_add(j)
+            result[i] = candidates[j]
+    return result

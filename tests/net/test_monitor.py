@@ -100,3 +100,77 @@ def test_network_total_bytes():
     monitor.record(0.0, "a", "b", "M", 70)
     monitor.record(0.0, "b", "a", "M", 30)
     assert monitor.network_total_bytes() == 100
+
+
+# ----- bin-edge accounting after the array-bin rewrite ----------------------
+
+
+def test_record_exactly_on_bin_boundary_goes_to_upper_bin():
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(2.0, "a", "b", "M", 10)  # [2.0, 3.0) -> bin 2
+    assert monitor.series("a", "tx") == [0.0, 0.0, 10.0]
+
+
+def test_record_just_below_boundary_stays_in_lower_bin():
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(1.9999999, "a", "b", "M", 10)
+    assert monitor.series("a", "tx", end_time=2.0)[1] == 10.0
+
+
+def test_fractional_bin_width_edges():
+    monitor = TrafficMonitor(bin_width=0.5)
+    monitor.record(0.49, "a", "b", "M", 1)
+    monitor.record(0.5, "a", "b", "M", 2)  # exactly on the edge: bin 1
+    monitor.record(0.99, "a", "b", "M", 4)
+    assert monitor.series("a", "tx") == [1.0, 6.0]
+
+
+def test_non_unit_bin_width_binning():
+    monitor = TrafficMonitor(bin_width=10.0)
+    monitor.record(9.99, "a", "b", "M", 1)
+    monitor.record(10.0, "a", "b", "M", 2)
+    monitor.record(19.99, "a", "b", "M", 4)
+    monitor.record(20.0, "a", "b", "M", 8)
+    assert monitor.series("a", "tx") == [1.0, 6.0, 8.0]
+
+
+def test_out_of_order_records_accumulate_correctly():
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(5.2, "a", "b", "M", 10)
+    monitor.record(1.1, "a", "b", "M", 20)  # earlier than the series tail
+    monitor.record(5.8, "a", "b", "M", 30)
+    assert monitor.series("a", "tx") == [0.0, 20.0, 0.0, 0.0, 0.0, 40.0]
+    assert monitor.last_time == 5.8
+
+
+def test_series_end_time_on_exact_boundary_includes_that_bin():
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(0.5, "a", "b", "M", 10)
+    assert len(monitor.series("a", "tx", end_time=3.0)) == 4  # bins 0..3
+
+
+def test_totals_derived_from_tx_side_counts_each_message_once():
+    monitor = TrafficMonitor()
+    monitor.record(0.0, "a", "b", "Block", 100)
+    monitor.record(0.0, "b", "a", "Block", 50)
+    monitor.record(1.0, "a", "c", "Digest", 7)
+    totals = monitor.totals
+    assert totals.messages == 3
+    assert totals.bytes == 157
+    assert totals.by_kind_bytes == {"Block": 150, "Digest": 7}
+    assert monitor.network_total_bytes() == 157
+
+
+def test_far_future_record_does_not_allocate_dense_bins():
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(0.5, "a", "b", "M", 10)
+    monitor.record(100_000.0, "a", "b", "M", 20)  # beyond the dense-growth cap
+    record = monitor._node["a"]
+    assert len(record[0]) < 10_000  # dense tx bins stayed small
+    assert record[4] == {100_000: 20}  # sparse overflow holds the stray bin
+    assert monitor.series("a", "tx", end_time=2.0) == [10.0, 0.0, 0.0]
+    full = monitor.series("a", "tx")
+    assert full[0] == 10.0
+    assert full[100_000] == 20.0
+    assert monitor.totals.bytes == 30
+    assert monitor.series("b", "rx", end_time=2.0) == [10.0, 0.0, 0.0]

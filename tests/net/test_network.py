@@ -245,3 +245,103 @@ def test_traffic_kinds_recorded(sim):
     network.send("a", "b", RawMessage(10, kind="StateInfo"))
     sim.run()
     assert network.monitor.totals.by_kind_messages == {"StateInfo": 1}
+
+
+def test_downlink_arrival_order_with_mixed_paths(sim):
+    """Three senders, mixed latencies: the receiver's downlink must be
+    granted strictly in physical arrival order, not send order."""
+    from repro.net.latency import LatencyModel
+
+    class PerSourceLatency(LatencyModel):
+        DELAYS = {"w1": 0.200, "w2": 0.050, "fast": 0.001}
+
+        def sample(self, rng, src, dst):
+            return self.DELAYS[src]
+
+    config = NetworkConfig(
+        bandwidth=1_000_000.0,
+        envelope_overhead=0,
+        latency_model=PerSourceLatency(),
+        downlink_queue_min_bytes=0,
+    )
+    network = Network(sim, RandomStreams(1), config)
+    for name in ("w1", "w2", "fast"):
+        register_sink(network, name)
+    arrivals = []
+    network.register("rx", lambda src, msg: arrivals.append(src))
+    network.send("w1", "rx", RawMessage(10_000))  # sent first, arrives last
+    network.send("w2", "rx", RawMessage(10_000))
+    sim.schedule(0.005, network.send, "fast", "rx", RawMessage(10_000))
+    sim.run()
+    assert arrivals == ["fast", "w2", "w1"]
+
+
+def test_early_slow_send_does_not_reserve_downlink_ahead_of_fast_send(sim):
+    """Regression guard for the two-phase large-message schedule: a message
+    launched earlier on a slow path must queue BEHIND a later fast-path
+    message that physically arrives first, and the later message's delivery
+    time must be unaffected by the slow one."""
+    from repro.net.latency import LatencyModel
+
+    class PerSourceLatency(LatencyModel):
+        def sample(self, rng, src, dst):
+            return 0.500 if src == "slow" else 0.0
+
+    config = NetworkConfig(
+        bandwidth=1_000_000.0,
+        envelope_overhead=0,
+        latency_model=PerSourceLatency(),
+        downlink_queue_min_bytes=0,
+    )
+    network = Network(sim, RandomStreams(1), config)
+    register_sink(network, "slow")
+    register_sink(network, "fast")
+    times = {}
+    network.register("rx", lambda src, msg: times.setdefault(src, sim.now))
+    network.send("slow", "rx", RawMessage(50_000))  # uplink 50ms, arrives 550ms
+    sim.schedule(0.100, network.send, "fast", "rx", RawMessage(10_000))
+    sim.run()
+    # fast: sent 100ms + 10ms uplink + 0 latency + 10ms downlink = 120ms,
+    # exactly as if the slow message did not exist.
+    assert times["fast"] == pytest.approx(0.120)
+    # slow: arrives 550ms, downlink free by then, +50ms transfer.
+    assert times["slow"] == pytest.approx(0.600)
+
+
+def test_small_message_pipeline_is_single_phase_but_ordered(sim):
+    """Below the queue threshold messages take the one-event fast path yet
+    still deliver in arrival order among themselves."""
+    network = make_network(sim, bandwidth=1_000_000.0, latency=0.0, queue_min=1_000_000)
+    register_sink(network, "a")
+    register_sink(network, "b")
+    order = []
+    network.register("rx", lambda src, msg: order.append(src))
+    network.send("a", "rx", RawMessage(2_000))   # uplink 2ms, delivered 4ms
+    network.send("b", "rx", RawMessage(1_000))   # uplink 1ms, delivered 2ms
+    sim.run()
+    assert order == ["b", "a"]
+
+
+def test_broadcast_accepts_any_sequence(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_b = register_sink(network, "b")
+    inbox_c = register_sink(network, "c")
+    network.broadcast("a", ("b", "c"), lambda: RawMessage(10))  # tuple, not list
+    sim.run()
+    assert len(inbox_b) == len(inbox_c) == 1
+
+
+def test_broadcast_unknown_source_rejected_before_any_traffic(sim):
+    network = make_network(sim)
+    register_sink(network, "b")
+    built = []
+
+    def factory():
+        built.append(1)
+        return RawMessage(10)
+
+    with pytest.raises(ValueError):
+        network.broadcast("ghost", ["b"], factory)
+    assert built == []  # no copy constructed, no traffic recorded
+    assert network.monitor.totals.messages == 0

@@ -1,0 +1,65 @@
+"""Tests for the perf harness: determinism contract and the gate logic."""
+
+from repro.gossip.config import EnhancedGossipConfig
+from repro.perf import (
+    GOLDEN_METRICS,
+    check_determinism,
+    compare_bench,
+    metric_snapshot,
+    run_core_benchmark,
+)
+
+
+def test_determinism_contract_holds():
+    """The refactored fast path reproduces the pre-refactor golden metrics
+    bit-for-bit (event counts, latency floats, byte totals)."""
+    assert check_determinism() == []
+
+
+def test_metric_snapshot_is_reproducible():
+    gossip = EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2)
+    first = metric_snapshot(gossip, 20, 3, seed=7)
+    second = metric_snapshot(
+        EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 20, 3, seed=7
+    )
+    assert first == second
+
+
+def test_golden_metrics_cover_both_protocols():
+    names = set(GOLDEN_METRICS)
+    assert any(name.startswith("enhanced") for name in names)
+    assert any(name.startswith("original") for name in names)
+
+
+def test_core_benchmark_reports_point():
+    [result] = run_core_benchmark(sizes=(20,), blocks=2, repeats=1)
+    assert result.n_peers == 20
+    assert result.events > 0
+    assert result.events_per_sec > 0
+    assert result.peak_heap_size > 0
+    assert result.final_sim_time >= 2 * 1.5
+
+
+def _payload(points):
+    return {"results": [{"n_peers": n, "events_per_sec": eps} for n, eps in points]}
+
+
+def test_compare_bench_passes_within_threshold():
+    baseline = _payload([(50, 100_000.0), (100, 90_000.0)])
+    current = _payload([(50, 85_000.0), (100, 95_000.0)])  # -15%, +5%
+    assert compare_bench(current, baseline, threshold=0.20) == []
+
+
+def test_compare_bench_flags_regression():
+    baseline = _payload([(50, 100_000.0)])
+    current = _payload([(50, 70_000.0)])  # -30%
+    failures = compare_bench(current, baseline, threshold=0.20)
+    assert len(failures) == 1
+    assert "n=50" in failures[0]
+
+
+def test_compare_bench_flags_missing_size():
+    baseline = _payload([(50, 100_000.0), (100, 90_000.0)])
+    current = _payload([(50, 100_000.0)])
+    failures = compare_bench(current, baseline)
+    assert any("missing" in failure for failure in failures)

@@ -188,3 +188,106 @@ def test_many_events_keep_global_order(sim):
         sim.schedule(delay, order.append, (delay, index))
     sim.run()
     assert order == sorted(order, key=lambda item: (item[0], item[1]))
+
+
+# ----- fast-path internals: pooling, O(1) counting, compaction -------------
+
+
+def test_pending_events_counter_is_live(sim):
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    for handle in handles[:4]:
+        handle.cancel()
+    assert sim.pending_events == 6
+    sim.run(until=6.5)
+    # Events at t=5 and t=6 fired (1-4 cancelled), 7..10 still queued.
+    assert sim.pending_events == 4
+
+
+def test_schedule_call_fast_path_executes_in_order(sim):
+    order = []
+    sim.schedule_call(2.0, order.append, ("b",))
+    sim.schedule_call(1.0, order.append, ("a",))
+    sim.schedule(1.5, order.append, "mid")
+    sim.run()
+    assert order == ["a", "mid", "b"]
+
+
+def test_schedule_call_rejects_past_and_nan(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_call(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_call(float("nan"), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_call(float("inf"), lambda: None)
+
+
+def test_heap_entries_are_pooled(sim):
+    fired = []
+    for i in range(50):
+        sim.schedule_call(float(i), fired.append, (i,))
+    sim.run()
+    assert len(fired) == 50
+    assert len(sim._pool) >= 1  # executed entries went back to the free list
+    pooled_before = len(sim._pool)
+    sim.schedule_call(sim.now + 1.0, fired.append, (99,))
+    assert len(sim._pool) == pooled_before - 1  # reused, not reallocated
+    sim.run()
+    assert fired[-1] == 99
+
+
+def test_mass_cancellation_compacts_heap(sim):
+    handles = [sim.schedule(1000.0 + i, lambda: None) for i in range(200)]
+    keep = sim.schedule(0.5, lambda: None)
+    for handle in handles:
+        handle.cancel()
+    # Far more than half the heap was cancelled: compaction must have
+    # dropped the dead entries without waiting for their scheduled times.
+    assert len(sim._heap) < 50
+    assert sim.pending_events == 1
+    assert keep.pending
+    sim.run()
+    assert keep.executed
+
+
+def test_cancelled_handle_states_survive_pool_reuse(sim):
+    cancelled = sim.schedule(1.0, lambda: None)
+    cancelled.cancel()
+    executed = sim.schedule(2.0, lambda: None)
+    sim.run()
+    # Recycle entries through many new events; old handles must not change.
+    for i in range(20):
+        sim.schedule_call(sim.now + i + 1.0, lambda: None)
+    sim.run()
+    assert cancelled.cancelled and not cancelled.executed and not cancelled.pending
+    assert executed.executed and not executed.cancelled and not executed.pending
+
+
+def test_cancel_after_execution_is_noop(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()
+    assert handle.executed
+    assert not handle.cancelled
+
+
+def test_peak_heap_size_tracks_maximum(sim):
+    assert sim.peak_heap_size == 0
+    for i in range(7):
+        sim.schedule(float(i + 1), lambda: None)
+    assert sim.peak_heap_size == 7
+    sim.run()
+    assert sim.peak_heap_size == 7
+    sim.reset()
+    assert sim.peak_heap_size == 0
+
+
+def test_events_executed_counts_across_runs(sim):
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run(until=2.0)
+    assert sim.events_executed == 2
+    sim.run()
+    assert sim.events_executed == 5
