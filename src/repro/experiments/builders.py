@@ -127,6 +127,7 @@ def build_network(
     orderer_config: Optional[OrdererConfig] = None,
     background: Optional[BackgroundTrafficConfig] = None,
     policy: Optional[EndorsementPolicy] = None,
+    timer_wheel: bool = True,
 ) -> FabricNetwork:
     """Build the deployment of the paper's §V-A (defaults: one org).
 
@@ -137,12 +138,15 @@ def build_network(
         seed: master seed for all random streams.
         organizations: number of organizations; each gets a leader (its
             first peer) to which the orderer sends every block.
+        timer_wheel: batch recurring timers into shared wheel slots (the
+            default); False forces one heap event per timer tick — kept so
+            the perf harness can measure the event-count reduction.
     """
     if n_peers < 2:
         raise ValueError("need at least 2 peers")
     if organizations < 1 or organizations > n_peers:
         raise ValueError("invalid organization count")
-    sim = Simulator()
+    sim = Simulator(use_timer_wheel=timer_wheel)
     streams = RandomStreams(seed)
     network = Network(sim, streams, network_config)
     msp = MembershipServiceProvider()

@@ -122,6 +122,65 @@ class TrafficMonitor:
         if time > self._last_time:
             self._last_time = time
 
+    def record_fanout(self, time: float, src: str, dsts: List[str], kind: str, size: int) -> None:
+        """Account one ``size``-byte message from ``src`` to each of ``dsts``.
+
+        Byte-exact equivalent of calling :meth:`record` once per
+        destination (the aggregated-traffic fast path relies on this): the
+        sender's tx side is bumped once with ``len(dsts)`` messages and
+        ``size * len(dsts)`` bytes, each receiver's rx side exactly as an
+        individual record would.
+        """
+        if not dsts:
+            return
+        bin_index = int(time) if self._unit_bins else int(time / self.bin_width)
+        node = self._node
+        count = len(dsts)
+        total = size * count
+        src_record = node.get(src)
+        if src_record is None:
+            src_record = node[src] = [[], [], {}, {}, {}, {}]
+        bins = src_record[_TX_BINS]
+        grow = bin_index + 1 - len(bins)
+        if grow <= 0:
+            bins[bin_index] += total
+        elif grow <= _MAX_DENSE_GROWTH:
+            bins.extend([0] * grow)
+            bins[bin_index] += total
+        else:
+            overflow = src_record[_TX_OVER]
+            overflow[bin_index] = overflow.get(bin_index, 0) + total
+        kinds = src_record[_TX_KINDS]
+        acc = kinds.get(kind)
+        if acc is None:
+            kinds[kind] = [count, total]
+        else:
+            acc[0] += count
+            acc[1] += total
+        for dst in dsts:
+            dst_record = node.get(dst)
+            if dst_record is None:
+                dst_record = node[dst] = [[], [], {}, {}, {}, {}]
+            bins = dst_record[_RX_BINS]
+            grow = bin_index + 1 - len(bins)
+            if grow <= 0:
+                bins[bin_index] += size
+            elif grow <= _MAX_DENSE_GROWTH:
+                bins.extend([0] * grow)
+                bins[bin_index] += size
+            else:
+                overflow = dst_record[_RX_OVER]
+                overflow[bin_index] = overflow.get(bin_index, 0) + size
+            kinds = dst_record[_RX_KINDS]
+            acc = kinds.get(kind)
+            if acc is None:
+                kinds[kind] = [1, size]
+            else:
+                acc[0] += 1
+                acc[1] += size
+        if time > self._last_time:
+            self._last_time = time
+
     @property
     def totals(self) -> TrafficTotals:
         """Whole-run totals, materialized lazily from the per-node records.

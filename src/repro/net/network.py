@@ -162,6 +162,81 @@ class Network:
         # fast paths. Large messages therefore take a two-phase schedule.
         sim.schedule_call(arrival, self._arrive, (src, dst, message, transfer))
 
+    def send_aggregate(self, src: str, dsts: Sequence[str], message: Message) -> None:
+        """Send one identical metadata message to each destination as a
+        single simulator event.
+
+        The aggregated-background fast path: a periodic emitter's fanout of
+        ``MembershipAlive`` copies coalesces into one scheduled delivery
+        instead of one or two events per copy. Semantics relative to
+        per-copy :meth:`send`:
+
+        * **byte accounting is exactly equivalent** — the monitor records
+          one ``wire_size`` message per destination at send time (the
+          delivery batching is invisible to every bandwidth figure);
+        * uplink serialization reserves the sender's NIC for the *total*
+          bytes of the fanout, like the per-copy sends would;
+        * drop rules (disconnected source/destination, drop filters) apply
+          per copy, before anything is recorded;
+        * one propagation latency is drawn for the whole batch and the
+          copies are delivered together one transfer after arrival —
+          per-destination latency spread is dropped;
+        * receiver-side downlink queueing is not modelled. Per-copy sends
+          of default-sized background messages *do* cross the
+          ``downlink_queue_min_bytes`` threshold and occupy receiver
+          downlinks (the seed's 100 KB messages did too); the aggregated
+          path deliberately trades that receive-contention detail away —
+          metadata is a small, steady fraction of any receiver's downlink,
+          and the golden tolerance check pins the resulting latency drift.
+        """
+        if src not in self._handlers:
+            raise ValueError(f"unknown source node {src!r}")
+        # Full validation before any state change, exactly like send(): a
+        # rejected call must not pollute drop counters or the monitor.
+        for dst in dsts:
+            if dst == src:
+                raise ValueError(f"{src!r} attempted to send a message to itself")
+        size = message.payload_size() + self._overhead
+        disconnected = self._disconnected
+        if disconnected and disconnected.get(src):
+            self.dropped_messages += len(dsts)
+            return
+        drop_filter = self._drop_filter
+        recipients = []
+        for dst in dsts:
+            if disconnected and disconnected.get(dst):
+                self.dropped_messages += 1
+                continue
+            if drop_filter is not None and drop_filter(src, dst, message):
+                self.dropped_messages += 1
+                continue
+            recipients.append(dst)
+        if not recipients:
+            return
+        sim = self.sim
+        now = sim._now
+        self.monitor.record_fanout(now, src, recipients, message.kind, size)
+        transfer = size / self._bandwidth
+        uplink_free_at = self._uplink_free_at
+        free_at = uplink_free_at.get(src, 0.0)
+        uplink_done = (free_at if free_at > now else now) + transfer * len(recipients)
+        uplink_free_at[src] = uplink_done
+        arrival = uplink_done + self._sample_latency(src, recipients[0]) + transfer
+        sim.schedule_call(arrival, self._deliver_aggregate, (src, recipients, message))
+
+    def _deliver_aggregate(self, src: str, recipients: list, message: Message) -> None:
+        disconnected = self._disconnected
+        handlers = self._handlers
+        for dst in recipients:
+            if disconnected and disconnected.get(dst):
+                self.dropped_messages += 1
+                continue
+            handler = handlers.get(dst)
+            if handler is None:
+                self.dropped_messages += 1
+                continue
+            handler(src, message)
+
     def _arrive(self, src: str, dst: str, message: Message, transfer: float) -> None:
         now = self.sim._now
         free_at = self._downlink_free_at.get(dst, 0.0)

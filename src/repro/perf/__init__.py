@@ -3,11 +3,14 @@
 Two concerns live here:
 
 * :mod:`repro.perf.profile` — timing/profiling of the canonical
-  dissemination scenario: events/sec, wall time and peak heap size across
-  organization sizes, emitted as ``BENCH_core.json``;
+  dissemination scenario (now including the calibrated background
+  traffic): events/sec, wall time, peak heap size and the batched-vs-naive
+  event-count reduction across organization sizes, emitted as
+  ``BENCH_core.json``;
 * :mod:`repro.perf.regression` — the determinism checker (same seed must
-  reproduce the committed golden metrics bit-for-bit across refactors of
-  the hot path) and the >20% throughput-regression gate used by
+  reproduce the committed ``golden_metrics.json`` bit-for-bit), the
+  PR-1 reference tolerance check that gates golden refreshes, the >20%
+  throughput-regression gate and the event-reduction floor used by
   ``scripts/perf_gate.py``.
 """
 
@@ -18,19 +21,31 @@ from repro.perf.profile import (
     write_bench_json,
 )
 from repro.perf.regression import (
+    EVENT_REDUCTION_FLOOR,
     GOLDEN_METRICS,
+    GOLDEN_PATH,
+    PR1_REFERENCE_METRICS,
     check_determinism,
+    check_event_reduction,
+    check_reference_tolerance,
     compare_bench,
     metric_snapshot,
+    update_golden,
 )
 
 __all__ = [
     "CoreBenchResult",
+    "EVENT_REDUCTION_FLOOR",
     "GOLDEN_METRICS",
+    "GOLDEN_PATH",
+    "PR1_REFERENCE_METRICS",
     "check_determinism",
+    "check_event_reduction",
+    "check_reference_tolerance",
     "compare_bench",
     "metric_snapshot",
     "profile_core",
     "run_core_benchmark",
+    "update_golden",
     "write_bench_json",
 ]

@@ -1,16 +1,25 @@
 """Timing and profiling harness for the simulation core.
 
 The canonical scenario is the paper's dissemination workload (enhanced
-gossip, fout=4, table-driven TTL, 160 KB blocks every 1.5 s) at a sweep of
-organization sizes. Throughput is reported as **executed events per second
-of the event-loop phase only** — network construction (identities, views)
-is excluded so the number tracks the engine/net/gossip hot path rather
-than setup cost.
+gossip, fout=4, table-driven TTL, 160 KB blocks every 1.5 s) **plus the
+calibrated background metadata traffic** — the idle floor the paper's
+Fabric model carries everywhere — at a sweep of organization sizes.
+Throughput is reported as **executed events per second of the event-loop
+phase only**; network construction (identities, views) is excluded so the
+number tracks the engine/net/gossip hot path rather than setup cost.
 
-``run_core_benchmark`` repeats each point and keeps the fastest run (the
-simulation is deterministic, so repetition only filters scheduler noise),
-and ``write_bench_json`` emits the committed ``BENCH_core.json`` that
-``scripts/perf_gate.py`` compares against.
+Each point is measured twice over:
+
+* the **batched** engine (timer wheel + aggregated background, the
+  default) provides the events/sec figure, repeated and best-of-N;
+* one **naive** run (one heap event per timer firing, per-copy background
+  sends) of the *same scenario* provides the reference event count, so the
+  point also reports the deterministic total-event-count reduction that
+  the batching delivers.
+
+``run_core_benchmark`` emits both; ``write_bench_json`` produces the
+committed ``BENCH_core.json`` that ``scripts/perf_gate.py`` gates against
+(events/sec within threshold, reduction above the floor).
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from repro.analysis.pe import ttl_for_target
 from repro.experiments.builders import build_network
 from repro.experiments.workloads import synthetic_block_transactions
 from repro.fabric.config import PeerConfig, ValidationMode
-from repro.gossip.config import EnhancedGossipConfig
+from repro.gossip.config import BackgroundTrafficConfig, EnhancedGossipConfig
 
 BENCH_SIZES = (50, 100, 250, 500)
 BENCH_BLOCKS = 6
@@ -50,13 +59,21 @@ class CoreBenchResult:
     events_per_sec: float
     peak_heap_size: int
     final_sim_time: float
+    # Event count of the naive (unbatched) engine on the same scenario and
+    # the resulting reduction; both deterministic. None when the naive
+    # reference run was skipped.
+    naive_events: Optional[int] = None
+    event_reduction: Optional[float] = None
 
 
-def _run_scenario(n_peers: int, blocks: int, seed: int):
+def _run_scenario(n_peers: int, blocks: int, seed: int, batched: bool = True):
     """Build and drive the canonical dissemination scenario.
 
-    Returns ``(net, run_wall_seconds)`` where the wall time covers only the
-    event-loop phase.
+    ``batched=False`` runs the identical workload on the naive engine:
+    timer wheel off, background traffic sent per copy.
+
+    Returns ``(net, ttl, run_wall_seconds)`` where the wall time covers
+    only the event-loop phase.
     """
     ttl = ttl_for_target(n_peers, BENCH_FOUT, BENCH_PE_TARGET)
     net = build_network(
@@ -67,6 +84,8 @@ def _run_scenario(n_peers: int, blocks: int, seed: int):
             per_tx_validation_time=0.004,
             validation_mode=ValidationMode.DELAY_ONLY,
         ),
+        background=BackgroundTrafficConfig(aggregate=batched),
+        timer_wheel=batched,
     )
     net.start()
     transactions = synthetic_block_transactions(50, 3_200)
@@ -90,15 +109,21 @@ def run_core_benchmark(
     blocks: int = BENCH_BLOCKS,
     seed: int = BENCH_SEED,
     repeats: int = 3,
+    measure_reduction: bool = True,
 ) -> List[CoreBenchResult]:
-    """Measure events/sec of the canonical scenario at each size.
+    """Measure events/sec and the event-count reduction at each size.
 
-    Each point runs ``repeats`` times and keeps the fastest run; results
-    (event counts, metrics) are identical across repeats by the determinism
-    contract, only the wall clock varies.
+    Each point runs the batched engine ``repeats`` times and keeps the
+    fastest run (results are identical across repeats by the determinism
+    contract, only the wall clock varies), plus one naive run for the
+    reference event count (its wall time is irrelevant).
     """
     results: List[CoreBenchResult] = []
     for n_peers in sizes:
+        naive_events: Optional[int] = None
+        if measure_reduction:
+            naive_net, _, _ = _run_scenario(n_peers, blocks, seed, batched=False)
+            naive_events = naive_net.sim.events_executed
         best: Optional[CoreBenchResult] = None
         for _ in range(max(1, repeats)):
             net, ttl, wall = _run_scenario(n_peers, blocks, seed)
@@ -113,6 +138,10 @@ def run_core_benchmark(
                 events_per_sec=events / wall if wall > 0 else float("inf"),
                 peak_heap_size=net.sim.peak_heap_size,
                 final_sim_time=net.sim.now,
+                naive_events=naive_events,
+                event_reduction=(
+                    1.0 - events / naive_events if naive_events else None
+                ),
             )
             if best is None or candidate.events_per_sec > best.events_per_sec:
                 best = candidate
@@ -145,6 +174,7 @@ def write_bench_json(
             "block_period_s": BENCH_BLOCK_PERIOD,
             "tx_per_block": 50,
             "tx_size_bytes": 3_200,
+            "background_traffic": "default (aggregated; naive reference per-copy)",
             "seed": BENCH_SEED,
             "timing": "event-loop phase only (setup excluded)",
         },

@@ -2,16 +2,18 @@
 
 This package provides the deterministic, seedable discrete-event engine on
 which the whole Fabric model runs: a heap-based scheduler with cancellable
-events (:mod:`repro.simulation.engine`), periodic timers
-(:mod:`repro.simulation.timers`), named deterministic random streams
-(:mod:`repro.simulation.random`) and a light-weight process/actor base class
-(:mod:`repro.simulation.process`).
+events (:mod:`repro.simulation.engine`), periodic timers — both the naive
+one-event-per-tick :mod:`repro.simulation.timers` and the slot-batched
+hierarchical :mod:`repro.simulation.timerwheel` — named deterministic
+random streams (:mod:`repro.simulation.random`) and a light-weight
+process/actor base class (:mod:`repro.simulation.process`).
 """
 
 from repro.simulation.engine import EventHandle, Simulator, SimulationError
 from repro.simulation.process import Process
 from repro.simulation.random import RandomStreams
 from repro.simulation.timers import PeriodicTimer
+from repro.simulation.timerwheel import TimerWheel, WheelTimer
 
 __all__ = [
     "EventHandle",
@@ -20,4 +22,6 @@ __all__ = [
     "RandomStreams",
     "SimulationError",
     "Simulator",
+    "TimerWheel",
+    "WheelTimer",
 ]

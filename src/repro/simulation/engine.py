@@ -132,9 +132,11 @@ class Simulator:
         "_stale",
         "_pool",
         "_peak_heap",
+        "_wheel",
+        "use_timer_wheel",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, use_timer_wheel: bool = True) -> None:
         self._now = 0.0
         self._seq = 0
         self._heap: List[list] = []
@@ -144,6 +146,12 @@ class Simulator:
         self._stale = 0  # lazily cancelled entries still in the heap
         self._pool: List[list] = []
         self._peak_heap = 0
+        self._wheel = None
+        # Recurring timers batch into shared wheel slots when True (the
+        # process layer consults this); False forces the naive
+        # one-event-per-tick PeriodicTimer path — kept selectable so the
+        # perf harness can measure the event-count reduction.
+        self.use_timer_wheel = use_timer_wheel
 
     @property
     def now(self) -> float:
@@ -168,6 +176,19 @@ class Simulator:
     def peak_heap_size(self) -> int:
         """Largest heap length observed (perf instrumentation)."""
         return self._peak_heap
+
+    @property
+    def wheel(self):
+        """The simulator's shared :class:`TimerWheel`, created on demand.
+
+        All recurring timers of a simulation share one wheel so that
+        same-tick firings across processes coalesce into single events.
+        """
+        if self._wheel is None:
+            from repro.simulation.timerwheel import TimerWheel  # cycle guard
+
+            self._wheel = TimerWheel(self)
+        return self._wheel
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
@@ -350,6 +371,7 @@ class Simulator:
         self._live = 0
         self._stale = 0
         self._peak_heap = 0
+        self._wheel = None  # wheel state references dropped heap events
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator t={self._now:.6f} pending={self._live}>"

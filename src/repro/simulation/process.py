@@ -10,11 +10,14 @@ process, and to timer management so processes can be shut down cleanly
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Union
 
 from repro.simulation.engine import EventHandle, Simulator
 from repro.simulation.random import RandomStreams
 from repro.simulation.timers import PeriodicTimer
+from repro.simulation.timerwheel import WheelTimer
+
+RecurringTimer = Union[PeriodicTimer, WheelTimer]
 
 
 class Process:
@@ -31,7 +34,7 @@ class Process:
         self.sim = sim
         self.name = name
         self._streams = streams
-        self._timers: List[PeriodicTimer] = []
+        self._timers: List[RecurringTimer] = []
         self._alive = True
 
     @property
@@ -64,12 +67,20 @@ class Process:
         initial_delay: Optional[float] = None,
         jitter_stream: Optional[str] = None,
         jitter_fraction: float = 0.0,
-    ) -> PeriodicTimer:
+    ) -> RecurringTimer:
         """Register a periodic timer owned by this process.
 
         If ``jitter_stream`` is given, each tick is offset by a uniform
         draw in ``[-jitter_fraction, +jitter_fraction] * period`` from the
         named stream.
+
+        When the simulator's timer wheel is enabled (the default) the
+        registration lands on the shared wheel: same-tick firings across
+        the whole deployment coalesce into single engine events, and
+        :meth:`shutdown` cancels the registration in O(1) without touching
+        the event heap. Sub-tick periods (high-rate client drivers) and
+        wheel-disabled simulators fall back to the naive one-event-per-tick
+        :class:`PeriodicTimer`.
         """
         jitter: Optional[Callable[[], float]] = None
         if jitter_stream is not None and jitter_fraction > 0:
@@ -83,7 +94,12 @@ class Process:
             if self._alive:
                 callback()
 
-        timer = PeriodicTimer(self.sim, period, guarded, initial_delay=initial_delay, jitter=jitter)
+        sim = self.sim
+        timer: RecurringTimer
+        if sim.use_timer_wheel and sim.wheel.supports_period(period):
+            timer = sim.wheel.every(period, guarded, initial_delay=initial_delay, jitter=jitter)
+        else:
+            timer = PeriodicTimer(sim, period, guarded, initial_delay=initial_delay, jitter=jitter)
         self._timers.append(timer)
         return timer
 

@@ -174,3 +174,108 @@ def test_far_future_record_does_not_allocate_dense_bins():
     assert full[100_000] == 20.0
     assert monitor.totals.bytes == 30
     assert monitor.series("b", "rx", end_time=2.0) == [10.0, 0.0, 0.0]
+
+
+def test_overflow_bins_feed_rate_and_average_series():
+    """The sparse far-future path must be invisible to every series view:
+    rates, averages and network totals all include overflow bins."""
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(1.5, "a", "b", "M", 100)
+    monitor.record(50_000.5, "a", "b", "M", 400)  # sparse tx+rx overflow
+    assert monitor.last_time == 50_000.5
+    rates = monitor.rate_series("a", "tx")
+    assert rates[1] == 100.0
+    assert rates[50_000] == 400.0
+    # Average over a window that only the overflow bin touches.
+    assert monitor.average_rate("a", "tx", start=50_000.0, end=50_001.0) == 400.0
+    assert monitor.average_rate("b", "rx", start=50_000.0, end=50_001.0) == 400.0
+    assert monitor.network_total_bytes() == 500
+
+
+def test_overflow_and_dense_bins_accumulate_independently():
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(0.0, "a", "b", "M", 10)
+    monitor.record(99_999.0, "a", "b", "M", 1)  # lands in overflow
+    monitor.record(99_999.5, "a", "b", "M", 2)  # same overflow bin
+    monitor.record(3.0, "a", "b", "M", 30)  # dense again after the stray
+    record = monitor._node["a"]
+    assert record[4] == {99_999: 3}
+    assert record[0][0] == 10 and record[0][3] == 30
+    series = monitor.series("a", "tx")
+    assert series[0] == 10.0 and series[3] == 30.0 and series[99_999] == 3.0
+
+
+def test_overflow_threshold_boundary_grows_dense():
+    """A jump of exactly the dense-growth cap still extends the dense
+    list; one bin beyond it goes sparse."""
+    from repro.net.monitor import _MAX_DENSE_GROWTH
+
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(float(_MAX_DENSE_GROWTH - 1), "a", "b", "M", 5)
+    record = monitor._node["a"]
+    assert len(record[0]) == _MAX_DENSE_GROWTH and record[4] == {}
+    monitor.record(float(2 * _MAX_DENSE_GROWTH + 1), "a", "b", "M", 7)
+    assert len(record[0]) == _MAX_DENSE_GROWTH  # unchanged
+    assert record[4] == {2 * _MAX_DENSE_GROWTH + 1: 7}
+
+
+def test_totals_are_lazy_and_reflect_later_records():
+    """totals is a lazily materialized view, not a cached counter: records
+    landed after a totals access must appear in the next access."""
+    monitor = TrafficMonitor()
+    monitor.record(0.0, "a", "b", "Block", 100)
+    first = monitor.totals
+    assert (first.messages, first.bytes) == (1, 100)
+    monitor.record(1.0, "b", "a", "Digest", 7)
+    second = monitor.totals
+    assert (second.messages, second.bytes) == (2, 107)
+    assert second.by_kind_messages == {"Block": 1, "Digest": 1}
+    # The first snapshot is an independent value object, not a live view.
+    assert (first.messages, first.bytes) == (1, 100)
+
+
+def test_lazy_totals_include_overflow_recorded_messages():
+    monitor = TrafficMonitor(bin_width=1.0)
+    monitor.record(1.0, "a", "b", "M", 10)
+    monitor.record(1e7, "a", "b", "M", 25)  # far-future: sparse bins
+    totals = monitor.totals
+    assert totals.messages == 2
+    assert totals.bytes == 35
+    node = monitor.node_totals("a")
+    assert node.by_kind_bytes == {"tx:M": 35}
+    assert monitor.node_totals("b").by_kind_bytes == {"rx:M": 35}
+
+
+def test_record_fanout_equivalent_to_individual_records():
+    """The aggregated-send accounting path must be byte-for-byte identical
+    to per-copy record() calls, overflow bins included."""
+    schedule = [
+        (0.2, "a", ["b", "c", "d"], "Alive", 100),
+        (0.7, "b", ["a"], "Alive", 40),
+        (2.4, "a", ["c"], "Alive", 100),
+        (90_000.0, "c", ["a", "b"], "Alive", 9),  # overflow on tx and rx
+    ]
+    fanout, individual = TrafficMonitor(), TrafficMonitor()
+    for time, src, dsts, kind, size in schedule:
+        fanout.record_fanout(time, src, dsts, kind, size)
+        for dst in dsts:
+            individual.record(time, src, dst, kind, size)
+    assert fanout.last_time == individual.last_time
+    assert fanout.nodes() == individual.nodes()
+    for node in individual.nodes():
+        for direction in ("tx", "rx", "both"):
+            assert fanout.series(node, direction) == individual.series(node, direction)
+        agg, ind = fanout.node_totals(node), individual.node_totals(node)
+        assert agg.by_kind_messages == ind.by_kind_messages
+        assert agg.by_kind_bytes == ind.by_kind_bytes
+    assert fanout.totals.messages == individual.totals.messages
+    assert fanout.totals.bytes == individual.totals.bytes
+    assert fanout.network_total_bytes() == individual.network_total_bytes()
+
+
+def test_record_fanout_empty_destinations_is_noop():
+    monitor = TrafficMonitor()
+    monitor.record_fanout(1.0, "a", [], "Alive", 10)
+    assert monitor.nodes() == []
+    assert monitor.totals.messages == 0
+    assert monitor.last_time == 0.0

@@ -345,3 +345,147 @@ def test_broadcast_unknown_source_rejected_before_any_traffic(sim):
         network.broadcast("ghost", ["b"], factory)
     assert built == []  # no copy constructed, no traffic recorded
     assert network.monitor.totals.messages == 0
+
+
+# ----- aggregated sends (batched background traffic) -------------------------
+
+
+def test_send_aggregate_delivers_to_every_destination(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inboxes = {name: register_sink(network, name) for name in ("b", "c", "d")}
+    network.send_aggregate("a", ["b", "c", "d"], RawMessage(100))
+    sim.run()
+    for name, inbox in inboxes.items():
+        assert len(inbox) == 1
+        src, message = inbox[0]
+        assert src == "a" and message.payload_size() == 100
+
+
+def test_send_aggregate_is_one_simulator_event(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    for name in ("b", "c", "d", "e"):
+        register_sink(network, name)
+    network.send_aggregate("a", ["b", "c", "d", "e"], RawMessage(100))
+    assert sim.pending_events == 1  # one batched delivery, not 4-8 events
+    sim.run()
+    assert sim.events_executed == 1
+
+
+def test_send_aggregate_byte_accounting_matches_per_copy_sends(sim):
+    """Monitor accounting must be exactly what fanout individual sends
+    would have recorded (same instant, same sizes, same kinds)."""
+    from repro.simulation.engine import Simulator
+
+    aggregate_net = make_network(sim, overhead=256)
+    sim_b = Simulator()
+    per_copy_net = make_network(sim_b, overhead=256)
+    for network in (aggregate_net, per_copy_net):
+        for name in ("a", "b", "c"):
+            register_sink(network, name)
+    aggregate_net.send_aggregate("a", ["b", "c"], RawMessage(100))
+    for dst in ("b", "c"):
+        per_copy_net.send("a", dst, RawMessage(100))
+    sim.run(), sim_b.run()
+    for node in ("a", "b", "c"):
+        agg = aggregate_net.monitor.node_totals(node)
+        ind = per_copy_net.monitor.node_totals(node)
+        assert agg.by_kind_messages == ind.by_kind_messages
+        assert agg.by_kind_bytes == ind.by_kind_bytes
+
+
+def test_send_aggregate_reserves_uplink_for_total_bytes(sim):
+    """The batch serializes the full fanout through the sender's NIC, so a
+    later send queues behind all copies, like per-copy sends."""
+    network = make_network(sim, bandwidth=1_000_000.0, latency=0.0)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    register_sink(network, "c")
+    network.send_aggregate("a", ["b", "c"], RawMessage(100_000))  # 0.2 s uplink
+    network.send("a", "b", RawMessage(100_000))  # queues behind the batch
+    sim.run()
+    assert len(inbox) == 2
+    assert sim.now == pytest.approx(0.4)  # 0.2 batch + 0.1 queued + 0.1 transfer
+
+
+def test_send_aggregate_drops_disconnected_destination_only(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_b = register_sink(network, "b")
+    inbox_c = register_sink(network, "c")
+    network.set_disconnected("b", True)
+    network.send_aggregate("a", ["b", "c"], RawMessage(50))
+    sim.run()
+    assert inbox_b == [] and len(inbox_c) == 1
+    assert network.dropped_messages == 1
+    # The dropped copy was never recorded, exactly like send().
+    assert network.monitor.node_totals("a").by_kind_messages == {"tx:RawMessage": 1}
+
+
+def test_send_aggregate_from_disconnected_source_drops_everything(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    network.set_disconnected("a", True)
+    network.send_aggregate("a", ["b"], RawMessage(50))
+    sim.run()
+    assert inbox == []
+    assert network.dropped_messages == 1
+    assert network.monitor.nodes() == []
+
+
+def test_send_aggregate_applies_drop_filter_per_copy(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_b = register_sink(network, "b")
+    inbox_c = register_sink(network, "c")
+    network.set_drop_filter(lambda src, dst, message: dst == "b")
+    network.send_aggregate("a", ["b", "c"], RawMessage(50))
+    sim.run()
+    assert inbox_b == [] and len(inbox_c) == 1
+    assert network.dropped_messages == 1
+
+
+def test_send_aggregate_disconnect_mid_flight_drops_at_delivery(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    network.send_aggregate("a", ["b"], RawMessage(50))
+    network.set_disconnected("b", True)
+    sim.run()
+    assert inbox == []
+    assert network.dropped_messages == 1
+
+
+def test_send_aggregate_rejects_self_and_unknown_source(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    register_sink(network, "b")
+    with pytest.raises(ValueError):
+        network.send_aggregate("a", ["b", "a"], RawMessage(10))
+    with pytest.raises(ValueError):
+        network.send_aggregate("ghost", ["b"], RawMessage(10))
+
+
+def test_send_aggregate_all_copies_dropped_schedules_nothing(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    register_sink(network, "b")
+    network.set_disconnected("b", True)
+    network.send_aggregate("a", ["b"], RawMessage(10))
+    assert sim.pending_events == 0
+
+
+def test_send_aggregate_self_send_rejected_before_any_state_change(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    register_sink(network, "b")
+    network.set_disconnected("a", True)
+    # Invalid destinations reject even when the source is disconnected,
+    # and a rejected call leaves no trace in counters or the monitor.
+    network.set_disconnected("b", True)
+    with pytest.raises(ValueError):
+        network.send_aggregate("a", ["b", "a"], RawMessage(10))
+    assert network.dropped_messages == 0
+    assert network.monitor.nodes() == []

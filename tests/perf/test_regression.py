@@ -63,3 +63,30 @@ def test_compare_bench_flags_missing_size():
     current = _payload([(50, 100_000.0)])
     failures = compare_bench(current, baseline)
     assert any("missing" in failure for failure in failures)
+
+
+def test_reference_tolerance_reports_missing_metric_keys():
+    from repro.perf import PR1_REFERENCE_METRICS, check_reference_tolerance
+
+    truncated = {
+        name: {k: v for k, v in metrics.items() if k != "latency_p95"}
+        for name, metrics in PR1_REFERENCE_METRICS.items()
+    }
+    failures = check_reference_tolerance(golden=truncated)
+    assert failures  # reported, not a KeyError crash
+    assert any("missing metrics" in failure for failure in failures)
+
+
+def test_perf_gate_refuses_update_with_determinism_only():
+    import importlib.util
+    import os
+    import pytest
+
+    spec = importlib.util.spec_from_file_location(
+        "perf_gate", os.path.join(os.path.dirname(__file__), "..", "..", "scripts", "perf_gate.py")
+    )
+    perf_gate = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(perf_gate)
+    with pytest.raises(SystemExit) as excinfo:
+        perf_gate.main(["--update", "--determinism-only"])
+    assert excinfo.value.code == 2  # argparse usage error

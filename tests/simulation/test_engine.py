@@ -291,3 +291,86 @@ def test_events_executed_counts_across_runs(sim):
     assert sim.events_executed == 2
     sim.run()
     assert sim.events_executed == 5
+
+
+def test_crash_fault_mass_cancel_compacts_in_one_pass(sim):
+    """A crash event cancelling >half the heap mid-run triggers exactly one
+    compaction pass and leaves live accounting exact (the run loop must
+    re-bind the swapped heap list and keep executing)."""
+    from repro.simulation import engine as engine_module
+
+    fired = []
+    # Periodic-timer corpus: one far-future handle per "timer", as a crash
+    # fault sees it (every component holds a pending tick).
+    handles = [sim.schedule(10.0 + i * 0.01, fired.append, i) for i in range(300)]
+    survivors = [sim.schedule(5.0 + i, fired.append, 1000 + i) for i in range(3)]
+
+    passes = []
+    original_compact = engine_module.Simulator._compact
+
+    def counting_compact(self):
+        passes.append(len(self._heap))
+        original_compact(self)
+
+    def crash():
+        for handle in handles:
+            handle.cancel()
+
+    sim.schedule(1.0, crash)
+    engine_module.Simulator._compact = counting_compact
+    try:
+        sim.run()
+    finally:
+        engine_module.Simulator._compact = original_compact
+
+    # Compaction runs as whole-heap passes (not per-cancellation) and the
+    # geometric trigger bounds the total work at O(heap): each pass halves
+    # the heap, so the pass sizes sum to less than twice the original.
+    assert 1 <= len(passes) <= 4
+    assert sum(passes) <= 2 * 304
+    assert sim._stale == 0  # stale counter fully consumed by the passes
+    assert fired == [1000, 1001, 1002]  # survivors fired, corpses did not
+    assert sim.pending_events == 0
+    assert all(handle.cancelled and not handle.executed for handle in handles)
+    assert all(handle.executed for handle in survivors)
+
+
+def test_mass_cancel_pending_counts_stay_exact_through_compaction(sim):
+    handles = [sim.schedule(100.0 + i, lambda: None) for i in range(150)]
+    live = [sim.schedule(50.0 + i, lambda: None) for i in range(10)]
+    assert sim.pending_events == 160
+    for index, handle in enumerate(handles):
+        handle.cancel()
+        # Exact at every step, through the compaction threshold and after.
+        assert sim.pending_events == 160 - (index + 1)
+    assert sim.pending_events == len(live) == 10
+    # Compaction dropped the mass-cancelled corpses; at most a sub-threshold
+    # lazy tail (< _COMPACT_MIN_STALE) may still sit in the heap.
+    assert len(sim._heap) - sim.pending_events == sim._stale < 64
+    executed = sim.run()
+    assert sim.pending_events == 0
+    assert executed == 59.0
+
+
+def test_small_cancellation_batches_stay_lazy(sim):
+    """Below the compaction thresholds cancelled entries stay in the heap
+    (lazy discard) — compaction is reserved for mass cancellation."""
+    keep = [sim.schedule(10.0 + i, lambda: None) for i in range(200)]
+    cancelled = [sim.schedule(20.0 + i, lambda: None) for i in range(30)]
+    for handle in cancelled:
+        handle.cancel()
+    assert len(sim._heap) == 230  # corpses still queued, below threshold
+    assert sim.pending_events == 200
+    sim.run()
+    assert all(handle.executed for handle in keep)
+
+
+def test_compacted_entries_are_recycled_through_the_pool(sim):
+    handles = [sim.schedule(100.0 + i, lambda: None) for i in range(200)]
+    for handle in handles:
+        handle.cancel()
+    pooled = len(sim._pool)
+    assert pooled >= 150  # compaction passes fed the corpses to the free list
+    for i in range(50):
+        sim.schedule_call(1.0 + i, lambda: ())
+    assert len(sim._pool) == pooled - 50  # new events reuse, not allocate

@@ -1,0 +1,317 @@
+"""Unit tests for the hierarchical timer wheel."""
+
+import pytest
+
+from repro.simulation.engine import SimulationError, Simulator
+from repro.simulation.process import Process
+from repro.simulation.random import RandomStreams
+from repro.simulation.timers import PeriodicTimer
+from repro.simulation.timerwheel import TimerWheel, WheelTimer
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def wheel(sim) -> TimerWheel:
+    return sim.wheel
+
+
+def test_fires_at_period_multiples(sim, wheel):
+    fired = []
+    wheel.every(0.5, lambda: fired.append(sim.now))
+    sim.run(until=2.2)
+    assert fired == [0.5, 1.0, 1.5, 2.0]
+
+
+def test_initial_delay_overrides_first_tick(sim, wheel):
+    fired = []
+    wheel.every(1.0, lambda: fired.append(sim.now), initial_delay=0.25)
+    sim.run(until=2.5)
+    assert fired == [0.25, 1.25, 2.25]
+
+
+def test_off_grid_phase_quantized_up_to_slot(sim, wheel):
+    fired = []
+    wheel.every(1.0, lambda: fired.append(sim.now), initial_delay=0.512)
+    sim.run(until=1.6)
+    # 0.512 rounds up to the next 50 ms boundary; the period then keeps
+    # the quantized phase.
+    assert fired == [0.55, 1.55]
+
+
+def test_stop_halts_future_firings(sim, wheel):
+    fired = []
+    timer = wheel.every(0.5, lambda: fired.append(sim.now))
+    sim.run(until=1.2)
+    timer.stop()
+    sim.run(until=3.0)
+    assert fired == [0.5, 1.0]
+    assert not timer.running
+    assert wheel.live_timers == 0
+
+
+def test_stop_from_inside_callback(sim, wheel):
+    fired = []
+
+    def once():
+        fired.append(sim.now)
+        timer.stop()
+
+    timer = wheel.every(0.5, once)
+    sim.run(until=3.0)
+    assert fired == [0.5]
+
+
+def test_stop_is_o1_and_touches_no_heap_entry(sim, wheel):
+    timers = [wheel.every(0.25, lambda: None) for _ in range(500)]
+    sim.run(until=1.01)
+    heap_len = len(sim._heap)
+    stale_before = sim._stale
+    for timer in timers:
+        timer.stop()
+    # Mass cancellation of wheel registrations leaves the event heap and
+    # the engine's lazy-cancel accounting completely untouched.
+    assert len(sim._heap) == heap_len
+    assert sim._stale == stale_before
+    assert wheel.live_timers == 0
+
+
+def test_slot_sharing_batches_events(sim, wheel):
+    for _ in range(200):
+        wheel.every(1.0, lambda: None, initial_delay=0.5)
+    sim.run(until=10.0)
+    # 200 timers x 10 firings each = 2000 naive events; the wheel fires
+    # one slot event per occupied boundary.
+    assert wheel.slot_events == 10
+    assert sim.events_executed == 10
+
+
+def test_mixed_phases_share_boundary_slots(sim, wheel):
+    for i in range(100):
+        # Phases spread over one second at tick granularity: 20 slots.
+        wheel.every(1.0, lambda: None, initial_delay=(i % 20) * 0.05)
+    sim.run(until=5.0)
+    assert sim.events_executed <= 20 * 5 + 1
+
+
+def test_ticks_counter(sim, wheel):
+    timer = wheel.every(0.5, lambda: None)
+    sim.run(until=2.6)
+    assert timer.ticks == 5
+
+
+def test_reschedule_changes_period_from_next_firing(sim, wheel):
+    fired = []
+    timer = wheel.every(1.0, lambda: fired.append(sim.now))
+    sim.run(until=1.1)
+    timer.reschedule(0.5)
+    sim.run(until=2.6)
+    assert fired == [1.0, 2.0, 2.5]
+
+
+def test_invalid_arguments_rejected(sim, wheel):
+    with pytest.raises(SimulationError):
+        wheel.every(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        wheel.every(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        wheel.every(1.0, lambda: None, initial_delay=-0.1)
+    timer = wheel.every(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        timer.reschedule(0.0)
+    with pytest.raises(SimulationError):
+        TimerWheel(sim, ticks_per_second=0)
+    with pytest.raises(SimulationError):
+        TimerWheel(sim, ring_ticks=1)
+
+
+def test_jitter_applied_and_quantized(sim):
+    wheel = sim.wheel
+    fired = []
+    offsets = iter([0.1, 0.02, 0.0, 0.0, 0.0])
+    wheel.every(1.0, lambda: fired.append(sim.now), jitter=lambda: next(offsets))
+    sim.run(until=3.5)
+    # 1.0+0.1 -> 1.1 (on grid); 1.1+1.0+0.02 -> 2.12 -> next slot 2.15.
+    assert fired == [1.1, 2.15, 3.15]
+
+
+def test_far_overflow_cascades_into_ring(sim):
+    wheel = TimerWheel(sim, ticks_per_second=16, ring_ticks=4)
+    fired = []
+    wheel.every(2.0, lambda: fired.append(sim.now), initial_delay=1.5)
+    sim.run(until=8.0)
+    assert fired == [1.5, 3.5, 5.5, 7.5]
+    assert wheel.cascade_events > 0
+
+
+def test_far_timer_stopped_before_cascade_never_fires(sim):
+    wheel = TimerWheel(sim, ticks_per_second=16, ring_ticks=4)
+    fired = []
+    timer = wheel.every(5.0, lambda: fired.append(sim.now))
+    sim.run(until=1.0)
+    timer.stop()
+    sim.run(until=12.0)
+    assert fired == []
+
+
+def test_registration_from_callback_on_own_boundary_defers_one_tick(sim, wheel):
+    fired = []
+
+    def register_nested():
+        wheel.every(1.0, lambda: fired.append(("nested", sim.now)), initial_delay=0.0)
+
+    wheel.every(1.0, register_nested, initial_delay=1.0)
+    sim.run(until=1.2)
+    # delay 0 at a boundary that is currently firing: the nested timer
+    # cannot land in its own creating slot; it fires one tick later.
+    assert fired == [("nested", 1.05)]
+
+
+def test_supports_period_rejects_sub_tick_and_off_grid(sim, wheel):
+    assert wheel.supports_period(0.05)
+    assert wheel.supports_period(0.25)
+    assert wheel.supports_period(4.0)
+    assert not wheel.supports_period(0.01)  # sub-tick: would alias
+    # Off-grid: per-firing re-quantization would stretch 0.26 s to 0.30 s,
+    # distorting calibrated rates — refused so callers fall back.
+    assert not wheel.supports_period(0.26)
+    assert not wheel.supports_period(1.0 / 3.0)
+
+
+def test_process_every_off_grid_period_keeps_exact_naive_rate(sim):
+    process = Process(sim, "p", RandomStreams(1))
+    fired = []
+    timer = process.every(1.0 / 3.0, lambda: fired.append(sim.now))
+    assert isinstance(timer, PeriodicTimer)  # fell back: no rate distortion
+    sim.run(until=2.0)
+    assert len(fired) == 6  # 3/s exactly, not the stretched wheel cadence
+
+
+def test_two_wheels_same_sim_do_not_interfere(sim):
+    first, second = TimerWheel(sim), TimerWheel(sim)
+    fired = []
+    first.every(1.0, lambda: fired.append("a"))
+    second.every(1.0, lambda: fired.append("b"))
+    sim.run(until=1.0)
+    assert fired == ["a", "b"]
+
+
+# ----- process integration --------------------------------------------------
+
+
+def test_process_every_routes_to_wheel(sim):
+    process = Process(sim, "p", RandomStreams(1))
+    timer = process.every(1.0, lambda: None)
+    assert isinstance(timer, WheelTimer)
+
+
+def test_process_every_falls_back_for_sub_tick_period(sim):
+    process = Process(sim, "p", RandomStreams(1))
+    timer = process.every(0.01, lambda: None)
+    assert isinstance(timer, PeriodicTimer)
+
+
+def test_process_every_falls_back_when_wheel_disabled():
+    sim = Simulator(use_timer_wheel=False)
+    process = Process(sim, "p", RandomStreams(1))
+    timer = process.every(1.0, lambda: None)
+    assert isinstance(timer, PeriodicTimer)
+
+
+def test_process_shutdown_stops_wheel_registrations_without_heap_churn(sim):
+    process = Process(sim, "p", RandomStreams(1))
+    fired = []
+    for _ in range(50):
+        process.every(0.5, lambda: fired.append(sim.now))
+    sim.run(until=0.6)
+    assert len(fired) == 50
+    heap_len = len(sim._heap)
+    process.shutdown()
+    assert len(sim._heap) == heap_len  # no lazy-cancelled heap entries
+    sim.run(until=3.0)
+    assert len(fired) == 50  # nothing fired after the crash
+    assert sim.wheel.live_timers == 0
+
+
+def test_process_guard_skips_callback_after_death(sim):
+    process = Process(sim, "p", RandomStreams(1))
+    fired = []
+    process.every(1.0, lambda: fired.append(sim.now))
+    sim.run(until=1.5)
+    process._alive = False  # simulate death without stopping timers
+    sim.run(until=3.5)
+    assert fired == [1.0]
+
+
+def test_simulator_reset_drops_wheel(sim):
+    wheel = sim.wheel
+    wheel.every(1.0, lambda: None)
+    sim.reset()
+    assert sim.wheel is not wheel
+
+
+def test_registration_after_long_idle_beyond_ring_window(sim):
+    """Regression: a wheel left idle longer than the ring window (every
+    timer stopped, clock advanced by other events) must accept new
+    registrations anchored at the *current* time — not classify them
+    against the stale fired-through cursor and schedule a cascade in the
+    past."""
+    wheel = sim.wheel
+    timer = wheel.every(1.0, lambda: None)
+    sim.run(until=5.0)
+    timer.stop()
+    sim.schedule_at(100.0, lambda: None)  # idle gap far beyond the 25.6 s window
+    sim.run()
+    assert sim.now == 100.0
+    fired = []
+    late = wheel.every(1.0, lambda: fired.append(sim.now))
+    sim.run(until=104.0)
+    assert fired == [101.0, 102.0, 103.0, 104.0]
+    late.stop()
+
+
+def test_crash_recover_cycle_after_long_idle(sim):
+    """The end-to-end shape of the bug: all processes die, the clock runs
+    far past the ring window, then a recover re-arms periodic components."""
+    from repro.simulation.process import Process
+    from repro.simulation.random import RandomStreams
+
+    process = Process(sim, "p", RandomStreams(9))
+    fired = []
+    process.every(2.0, lambda: fired.append(sim.now))
+    sim.run(until=6.0)
+    process.shutdown()  # crash: wheel registrations cancelled O(1)
+    sim.schedule_at(60.0, lambda: None)
+    sim.run()  # idle well past the ring window
+    process.restart()
+    process.every(2.0, lambda: fired.append(sim.now))  # re-armed on recover
+    sim.run(until=66.0)
+    assert fired == [2.0, 4.0, 6.0, 62.0, 64.0, 66.0]
+
+
+def test_registration_at_dust_contaminated_boundary_does_not_crash(sim):
+    """Regression: a callback running a float hair past an unarmed slot
+    boundary (accumulated dust in its own event time) registers a timer
+    whose first slot maps back onto that boundary; the wheel must fire it
+    now rather than schedule into the past and crash."""
+    wheel = sim.wheel
+    fired = []
+    sim.schedule(0.1 + 1e-13, lambda: wheel.every(0.25, lambda: fired.append(sim.now),
+                                                  initial_delay=0.0))
+    sim.run(until=1.0)
+    assert fired  # first firing happened (at ~0.1), then every 0.25 s
+    assert len(fired) == 4
+    assert fired[1:] == [0.35, 0.6, 0.85]
+
+
+def test_reschedule_rejects_unsupported_periods(sim, wheel):
+    timer = wheel.every(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        timer.reschedule(0.26)  # off-grid: would stretch to 0.30 s
+    with pytest.raises(SimulationError):
+        timer.reschedule(0.01)  # sub-tick: would alias to the tick
+    timer.reschedule(0.25)  # grid multiple: accepted
+    assert timer.period == 0.25
