@@ -27,22 +27,31 @@ from repro.perf import (
     check_reference_tolerance,
     compare_bench,
     run_core_benchmark,
+    run_recovery_benchmark,
 )
 
 BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_core.json")
 
 
 def test_core_engine(benchmark, full_scale):
-    sizes = (50, 100, 250, 500) if full_scale else (50, 100)
+    sizes = (50, 100, 250, 500, 1000) if full_scale else (50, 100)
 
-    results = run_once(benchmark, lambda: run_core_benchmark(sizes=sizes, repeats=2))
+    def measure():
+        return (
+            run_core_benchmark(sizes=sizes, repeats=2),
+            run_recovery_benchmark(repeats=2),
+        )
+
+    results, recovery = run_once(benchmark, measure)
+    results = list(results) + [recovery]
 
     print()
     print(
         format_table(
-            ["n", "TTL", "events", "naive", "reduction", "wall (s)", "events/s", "peak heap"],
+            ["scenario", "n", "TTL", "events", "naive", "reduction", "wall (s)", "events/s", "peak heap"],
             [
                 [
+                    r.scenario,
                     r.n_peers,
                     r.ttl,
                     r.events,
@@ -54,7 +63,7 @@ def test_core_engine(benchmark, full_scale):
                 ]
                 for r in results
             ],
-            title="Core engine throughput (canonical dissemination + background)",
+            title="Core engine throughput (canonical dissemination + background, crash recovery)",
         )
     )
 
@@ -70,14 +79,21 @@ def test_core_engine(benchmark, full_scale):
 
     with open(BENCH_JSON, encoding="utf-8") as handle:
         committed = json.load(handle)
+    dissemination = [r for r in results if r.scenario == "dissemination"]
     current = {
         "results": [
-            {"n_peers": r.n_peers, "events_per_sec": r.events_per_sec} for r in results
-        ]
+            {"n_peers": r.n_peers, "events_per_sec": r.events_per_sec}
+            for r in dissemination
+        ],
+        "recovery_results": [
+            {"n_peers": r.n_peers, "events_per_sec": r.events_per_sec}
+            for r in results
+            if r.scenario == "recovery"
+        ],
     }
     committed["results"] = [
         point for point in committed["results"]
-        if point["n_peers"] in {r.n_peers for r in results}
+        if point["n_peers"] in {r.n_peers for r in dissemination}
     ]
     failures = compare_bench(current, committed, threshold=0.20)
     assert not failures, f"throughput regression vs BENCH_core.json: {failures}"

@@ -62,6 +62,7 @@ from repro.perf import (  # noqa: E402 (path bootstrap above)
     check_reference_tolerance,
     compare_bench,
     run_core_benchmark,
+    run_recovery_benchmark,
     update_golden,
     write_bench_json,
 )
@@ -76,8 +77,9 @@ def _print_results(results) -> None:
             if result.event_reduction is not None
             else "reduction not measured"
         )
+        label = "" if result.scenario == "dissemination" else f" [{result.scenario}]"
         print(
-            f"n={result.n_peers:>4}  {result.events_per_sec:>12,.0f} events/s"
+            f"n={result.n_peers:>4}{label}  {result.events_per_sec:>12,.0f} events/s"
             f"  (events={result.events}, naive={result.naive_events},"
             f" {reduction}, peak heap={result.peak_heap_size})"
         )
@@ -139,19 +141,34 @@ def main(argv=None) -> int:
             parser.error(f"--sizes expects comma-separated integers, got {args.sizes!r}")
     elif args.determinism_only:
         sizes = (50,)  # one cheap point just to exercise the reduction gate
+    elif args.update:
+        # A refresh re-measures the harness's full matrix, so newly added
+        # sizes land in the baseline instead of inheriting the old sweep.
+        from repro.perf.profile import BENCH_SIZES  # noqa: E402
+
+        sizes = BENCH_SIZES
     elif os.path.exists(args.baseline):
         with open(args.baseline, encoding="utf-8") as handle:
             sizes = tuple(
                 point["n_peers"] for point in json.load(handle).get("results", [])
             )
     else:
-        sizes = (50, 100, 250, 500)
+        from repro.perf.profile import BENCH_SIZES  # noqa: E402
+
+        sizes = BENCH_SIZES
 
     repeats = 1 if args.determinism_only else args.repeats
     results = run_core_benchmark(sizes=sizes, repeats=repeats)
-    _print_results(results)
+    recovery_results = []
+    if not args.determinism_only:
+        # The crash-fault recovery scenario rides along in full runs so the
+        # gate covers the fault-active (guarded multicast) code paths too.
+        recovery_results = [run_recovery_benchmark(repeats=repeats)]
+    _print_results(list(results) + recovery_results)
 
-    reduction_failures = check_event_reduction(results, floor=args.reduction_floor)
+    reduction_failures = check_event_reduction(
+        list(results) + recovery_results, floor=args.reduction_floor
+    )
     if reduction_failures:
         print("EVENT-REDUCTION GATE FAILED:")
         for line in reduction_failures:
@@ -185,6 +202,7 @@ def main(argv=None) -> int:
             baseline_events_per_sec=baseline_eps and {
                 int(n): eps for n, eps in baseline_eps.items()
             },
+            recovery_results=recovery_results,
         )
         print(f"baseline updated: {args.baseline}")
         return 0
@@ -203,7 +221,11 @@ def main(argv=None) -> int:
         "results": [
             {"n_peers": result.n_peers, "events_per_sec": result.events_per_sec}
             for result in results
-        ]
+        ],
+        "recovery_results": [
+            {"n_peers": result.n_peers, "events_per_sec": result.events_per_sec}
+            for result in recovery_results
+        ],
     }
     committed["results"] = [
         point for point in committed["results"] if point["n_peers"] in set(sizes)

@@ -145,6 +145,10 @@ def run_conflict_experiment(config: ConflictExperimentConfig) -> ConflictResult:
             return False
         if net.orderer.transactions_ordered < client.stats.proposals_submitted:
             return False
+        if net.orderer.pending_transactions:
+            # A final partial batch is still waiting for its timeout; the
+            # ledger cross-check needs every ordered transaction validated.
+            return False
         blocks_cut = net.orderer.blocks_cut
         return all(peer.ledger_height >= blocks_cut for peer in net.peers.values())
 

@@ -54,6 +54,17 @@ class OrderingService(Process):
         self.transactions_ordered = 0
         network.register(self.name, self._on_message)
 
+    @property
+    def pending_transactions(self) -> int:
+        """Ordered transactions still waiting in the current (uncut) batch.
+
+        Experiments that account for every submitted transaction must wait
+        for this to reach zero: the batch timeout runs from the batch's
+        first transaction, so a final partial batch can stay uncut for up
+        to one timeout after the workload stops issuing.
+        """
+        return len(self._buffer)
+
     def set_leaders(self, org_leaders: Dict[str, str]) -> None:
         self.org_leaders = dict(org_leaders)
 

@@ -36,6 +36,10 @@ from repro.simulation.process import Process
 from repro.simulation.random import RandomStreams
 
 
+def _discard_message(src: str, message: Message) -> None:
+    """Background bytes: accounted by the monitor, no peer logic."""
+
+
 class Peer(Process):
     """One Fabric peer (possibly the org leader and/or an endorser)."""
 
@@ -72,9 +76,12 @@ class Peer(Process):
         # but only when the subclass has not overridden get_block.
         if type(self).get_block is Peer.get_block:
             self.get_block = self.blockchain.get_any
-        # The gossip module's exact-type dispatch table, probed directly in
-        # _on_message to skip a call layer on the dominant traffic class.
-        self._gossip_dispatch: Optional[dict] = None
+        # Unified exact-type dispatch table: the gossip module's entries
+        # merged with the peer-level message types, so _on_message resolves
+        # every message class with a single dict probe. None until a
+        # module with a dispatch table is attached; modules without one
+        # (custom subclasses) keep the handle()/isinstance fallback chain.
+        self._dispatch_all: Optional[dict] = None
         network.register(self.name, self._on_message)
 
     # ----- wiring ----------------------------------------------------------
@@ -84,7 +91,19 @@ class Peer(Process):
         if self.gossip is not None:
             raise RuntimeError(f"{self.name} already has a gossip module")
         self.gossip = factory(self, self.view)
-        self._gossip_dispatch = getattr(self.gossip, "_dispatch", None)
+        gossip_dispatch = getattr(self.gossip, "_dispatch", None)
+        if gossip_dispatch is not None:
+            # Peer-level defaults first so the gossip module's own entries
+            # win on (hypothetical) overlaps, preserving the old probe
+            # order: gossip table, then peer message types.
+            table = {
+                MembershipAlive: _discard_message,
+                LeadershipHeartbeat: self._on_heartbeat_message,
+                OrdererBlock: self._on_orderer_block_message,
+                EndorsementRequest: self._on_endorsement_request,
+            }
+            table.update(gossip_dispatch)
+            self._dispatch_all = table
 
     def attach_background(self, config: BackgroundTrafficConfig) -> None:
         self.background = BackgroundTraffic(self, self.view, config)
@@ -133,6 +152,13 @@ class Peer(Process):
         if self._alive:
             self.network.send(self.name, dst, message)
 
+    def multicast(self, dsts: List[str], message: Message) -> None:
+        # The gossip fanout fast path; semantically a per-dst send loop
+        # (network.multicast routes through a wrapped ``send`` itself, so
+        # instrumented tests keep observing fanout traffic).
+        if self._alive:
+            self.network.multicast(self.name, dsts, message)
+
     def deliver_block(self, block: Block, via: str) -> bool:
         """First point of contact of a block with the ledger layer."""
         is_new = self.blockchain.receive(block)
@@ -163,12 +189,14 @@ class Peer(Process):
     def _on_message(self, src: str, message: Message) -> None:
         if not self._alive:
             return
-        # Gossip traffic dominates by orders of magnitude, so it is tried
-        # first; the module's dispatch table does not know the types below,
-        # so the fallback chain is unchanged semantically. Probing the
-        # module's dispatch table directly skips a call layer; modules
-        # without one (custom subclasses) go through handle().
-        dispatch = self._gossip_dispatch
+        # The unified table resolves every known message class — gossip
+        # traffic and peer-level types alike — with one dict probe.
+        # Modules without a dispatch table (custom subclasses) keep the
+        # original fallback chain: handle() first, then the peer types.
+        # A table MISS (exact-type lookup) still falls through to the
+        # isinstance chain below, so subclassed peer-level message types
+        # (test/fault-injection wrappers) keep being handled.
+        dispatch = self._dispatch_all
         if dispatch is not None:
             handler = dispatch.get(type(message))
             if handler is not None:
@@ -179,8 +207,7 @@ class Peer(Process):
         if isinstance(message, MembershipAlive):
             return  # background bytes: accounted by the monitor, no logic
         if isinstance(message, LeadershipHeartbeat):
-            if self.election is not None:
-                self.election.on_heartbeat(src, message)
+            self._on_heartbeat_message(src, message)
             return
         if isinstance(message, OrdererBlock):
             self._on_orderer_block(message.block)
@@ -188,6 +215,13 @@ class Peer(Process):
         if isinstance(message, EndorsementRequest):
             self._on_endorsement_request(src, message)
             return
+
+    def _on_heartbeat_message(self, src: str, message: LeadershipHeartbeat) -> None:
+        if self.election is not None:
+            self.election.on_heartbeat(src, message)
+
+    def _on_orderer_block_message(self, src: str, message: OrdererBlock) -> None:
+        self._on_orderer_block(message.block)
 
     def _on_orderer_block(self, block: Block) -> None:
         if not self.is_leader:

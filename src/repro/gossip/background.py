@@ -44,6 +44,12 @@ class BackgroundTraffic:
         # integration tests wrap send methods by assignment and must
         # observe background traffic).
         self._network = getattr(host, "network", None) if config.aggregate else None
+        # Per-emission constants, hoisted out of the periodic hot path. The
+        # message instance is shared across emissions: MembershipAlive is
+        # immutable, receivers discard it unread, and only its byte size
+        # reaches the monitor.
+        self._fanout = config.fanout
+        self._message = MembershipAlive(config.message_size)
 
     def start(self) -> None:
         if not self.config.enabled:
@@ -52,16 +58,15 @@ class BackgroundTraffic:
         self.host.every(self.config.period, self._emit, initial_delay=phase)
 
     def _emit(self) -> None:
-        targets = self.view.sample_channel(self._rng, self.config.fanout)
+        targets = self.view.sample_channel(self._rng, self._fanout)
         if not targets:
             return
         send_aggregate = getattr(self._network, "send_aggregate", None)
         if send_aggregate is not None:
-            send_aggregate(
-                self.host.name, targets, MembershipAlive(self.config.message_size)
-            )
+            send_aggregate(self.host.name, targets, self._message)
             self.messages_sent += len(targets)
             return
+        send = self.host.send
         for target in targets:
-            self.host.send(target, MembershipAlive(self.config.message_size))
+            send(target, self._message)
             self.messages_sent += 1

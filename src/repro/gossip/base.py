@@ -30,6 +30,14 @@ class GossipHost(Protocol):
     def send(self, dst: str, message: Message) -> None:
         """Send a gossip message to another peer."""
 
+    def multicast(self, dsts: List[str], message: Message) -> None:
+        """Send one shared message to several peers (fanout fast path).
+
+        Must be semantically identical to calling :meth:`send` once per
+        destination in order — components rely on that equivalence for
+        the determinism contract (see :meth:`repro.net.network.Network.multicast`).
+        """
+
     def rng(self, purpose: str) -> random.Random:
         """Deterministic RNG stream scoped to the host and purpose."""
 
@@ -57,6 +65,29 @@ class GossipHost(Protocol):
         """Recent block numbers this peer holds (pull digest contents)."""
 
 
+def bind_multicast(host: GossipHost) -> Optional[Callable[[List[str], Message], None]]:
+    """The host's fanout entry point, bound once at construction.
+
+    Hosts implementing the full protocol (peers) expose ``multicast``,
+    which every gossip fanout routes through; minimal test doubles that
+    only implement ``send`` get a per-copy fallback loop with identical
+    semantics. ``host.multicast``/``host.send`` resolve liveness
+    themselves, so the binding stays valid across crash/recover.
+    """
+    multicast = getattr(host, "multicast", None)
+    if multicast is not None:
+        return multicast
+    send = getattr(host, "send", None)
+    if send is None:
+        return None  # construction-only doubles never fan out
+
+    def fanout(dsts: List[str], message: Message) -> None:
+        for dst in dsts:
+            send(dst, message)
+
+    return fanout
+
+
 class GossipModule:
     """Base class for the original and enhanced gossip modules."""
 
@@ -67,6 +98,7 @@ class GossipModule:
         # liveness itself, so the binding stays valid across crash/recover.
         # (getattr: construction-only test doubles may omit ``send``.)
         self._send = getattr(host, "send", None)
+        self._multicast = bind_multicast(host)
         self._started = False
 
     def start(self) -> None:

@@ -86,11 +86,9 @@ class EnhancedGossip(GossipModule):
         # The leader marks the pair (block, 0) as seen so a later echo of
         # the epidemic does not make it act as a second initial gossiper,
         # but it does NOT forward: initiation is delegated.
-        self.push._seen_pairs[block.number].add(0)
+        self.push.mark_seen(block.number, 0)
         targets = self.view.sample_org(self._leader_rng, self.config.leader_fanout)
-        send = self._send
-        for target in targets:
-            send(target, BlockPush(block, counter=0))
+        self._multicast(targets, BlockPush(block, counter=0))
 
     def _on_block_push(self, src: str, message: BlockPush) -> None:
         block = message.block

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.gossip.base import bind_multicast
 from repro.net.message import Message
 
 
@@ -107,6 +108,7 @@ class LeaderElection:
         # suppresses the rest.
         ordered = sorted([self.host.name] + list(self.view.org_others))
         self._rank = ordered.index(self.host.name)
+        self._multicast = bind_multicast(host)
 
     def _better_ranked(self) -> List[str]:
         return [name for name in self.view.org_others if name < self.host.name]
@@ -142,9 +144,11 @@ class LeaderElection:
         self._broadcast_heartbeat()
 
     def _broadcast_heartbeat(self) -> None:
-        for target in self.view.org_others:
-            self.host.send(target, LeadershipHeartbeat(self.term))
-            self.heartbeats_sent += 1
+        targets = self.view.org_others
+        if targets:
+            # One shared declaration across the org, one multicast event.
+            self._multicast(targets, LeadershipHeartbeat(self.term))
+            self.heartbeats_sent += len(targets)
 
     def on_heartbeat(self, src: str, message: LeadershipHeartbeat) -> None:
         """Process a leadership declaration from another peer."""

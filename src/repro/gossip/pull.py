@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.gossip.base import bind_multicast
 from repro.gossip.messages import (
     PullBlockRequest,
     PullBlockResponse,
@@ -55,6 +56,7 @@ class PullComponent:
         self.digest_window = digest_window
         self._deliver = deliver
         self._rng = host.rng("pull-targets")
+        self._multicast = bind_multicast(host)
         # Blocks already requested in the current round, so the initiator
         # does not fetch the same block from several advertisers.
         self._requested_this_round: set = set()
@@ -71,8 +73,9 @@ class PullComponent:
         self.rounds += 1
         self._requested_this_round = set()
         targets = self.view.sample_org(self._rng, self.fin)
-        for target in targets:
-            self.host.send(target, PullDigestRequest())
+        if targets:
+            # Stateless request: one shared instance, one multicast event.
+            self._multicast(targets, PullDigestRequest())
 
     # ----- responder side ---------------------------------------------
 

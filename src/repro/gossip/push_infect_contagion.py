@@ -35,6 +35,14 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+# Pair keys pack (block number, counter) into one int so the dedup check —
+# run once per received pair or digest, the hottest gossip code path — is a
+# single flat-set probe instead of a per-block dict of sets. Counters are
+# bounded by the TTL (tens in practice); 20 bits leave room far beyond any
+# configured TTL while block numbers occupy the upper bits.
+_PAIR_SHIFT = 20
+
+from repro.gossip.base import bind_multicast
 from repro.gossip.messages import BlockPush, PushDigest, PushRequest
 from repro.gossip.view import OrganizationView
 from repro.ledger.block import Block
@@ -79,9 +87,13 @@ class InfectUponContagionPush:
         # Hot path: bound once, not per message (getattr: construction-only
         # test doubles may omit ``send``).
         self._send = getattr(host, "send", None)
+        self._multicast = bind_multicast(host)
+        # get_block runs once per digest reception — the dominant message
+        # class at scale — so the host hop is resolved once here.
+        self._get_block = getattr(host, "get_block", None)
         self._on_forward = on_forward
-        # Per block: the set of counters already seen (pair dedup).
-        self._seen_pairs: Dict[int, Set[int]] = defaultdict(set)
+        # Packed (block << _PAIR_SHIFT | counter) keys already seen.
+        self._seen_pairs: Set[int] = set()
         # Blocks with an outstanding PushRequest: block number -> send time.
         self._inflight_requests: Dict[int, float] = {}
         # Pairs learned via digest while the block transfer is pending:
@@ -110,10 +122,11 @@ class InfectUponContagionPush:
         """
         number = block.number
         self._inflight_requests.pop(number, None)
-        seen = self._seen_pairs[number]
-        is_new = counter not in seen
+        seen = self._seen_pairs
+        key = (number << _PAIR_SHIFT) | counter
+        is_new = key not in seen
         if is_new:
-            seen.add(counter)
+            seen.add(key)
             self.pairs_received += 1
             self._forward(block, counter)
         if number in self._pending_pairs:
@@ -137,24 +150,26 @@ class InfectUponContagionPush:
         so the branching process resumes the moment the block lands.
         """
         number = message.block_number
-        block = self.host.get_block(number)
-        seen = self._seen_pairs[number]
+        counter = message.counter
+        block = self._get_block(number)
+        seen = self._seen_pairs
+        key = (number << _PAIR_SHIFT) | counter
         if block is not None:
-            if message.counter not in seen:
-                seen.add(message.counter)
+            if key not in seen:
+                seen.add(key)
                 self.pairs_received += 1
-                self._forward(block, message.counter)
+                self._forward(block, counter)
             return
         requested_at = self._inflight_requests.get(number)
         now = self.host.now
         if requested_at is None or now - requested_at > self.REQUEST_RETRY_TIMEOUT:
             self._inflight_requests[number] = now
-            self.host.send(src, PushRequest(number, message.counter))
+            self.host.send(src, PushRequest(number, counter))
             self.requests_sent += 1
-        if message.counter not in seen:
-            seen.add(message.counter)
+        if key not in seen:
+            seen.add(key)
             self.pairs_received += 1
-            self._pending_pairs[number].append(message.counter)
+            self._pending_pairs[number].append(counter)
 
     def on_request(self, src: str, message: PushRequest) -> None:
         """Serve a full block requested after one of our digests."""
@@ -180,7 +195,9 @@ class InfectUponContagionPush:
                 self._flush_pending = True
                 self.host.after(self.t_push, self._flush)
             return
-        self._send_pair(block, next_counter)
+        # Inline of the former _send_pair: sample + transmit without an
+        # extra frame on the per-pair hot path.
+        self._transmit(block, next_counter, self.view.sample_org(self._rng, self.fout))
 
     def _flush(self) -> None:
         """Ablation mode: Fabric-style buffered flush.
@@ -196,24 +213,17 @@ class InfectUponContagionPush:
         for block, received_counter in batch:
             self._transmit(block, received_counter + 1, targets)
 
-    def _send_pair(self, block: Block, counter: int) -> None:
-        targets = self.view.sample_org(self._rng, self.fout)
-        self._transmit(block, counter, targets)
-
     def _transmit(self, block: Block, counter: int, targets: List[str]) -> None:
         # One message instance is shared across the fanout: gossip messages
         # are immutable after construction and receivers only read fields,
         # so per-target copies would differ in nothing but allocation cost.
-        send = self._send
+        # The whole fanout goes out as one multicast (one pooled network
+        # event, vectorized accounting, per-destination physics intact).
         if self.use_digests and counter > self.ttl_direct:
-            digest = PushDigest(block.number, block.block_hash, counter)
-            for target in targets:
-                send(target, digest)
+            self._multicast(targets, PushDigest(block.number, block.block_hash, counter))
             self.digests_sent += len(targets)
         else:
-            push = BlockPush(block, counter=counter)
-            for target in targets:
-                send(target, push)
+            self._multicast(targets, BlockPush(block, counter=counter))
             self.full_pushes_sent += len(targets)
         self.pairs_forwarded += 1
         if self._on_forward is not None:
@@ -221,9 +231,15 @@ class InfectUponContagionPush:
 
     # ----- bookkeeping ----------------------------------------------------
 
+    def mark_seen(self, block_number: int, counter: int) -> None:
+        """Record the pair as seen without forwarding (leader initiation)."""
+        self._seen_pairs.add((block_number << _PAIR_SHIFT) | counter)
+
     def forget_before(self, block_number: int) -> None:
         """Drop pair-tracking state for old blocks (memory bound)."""
-        for mapping in (self._seen_pairs, self._pending_pairs, self._pending_serves):
+        threshold = block_number << _PAIR_SHIFT
+        self._seen_pairs = {key for key in self._seen_pairs if key >= threshold}
+        for mapping in (self._pending_pairs, self._pending_serves):
             stale = [number for number in mapping if number < block_number]
             for number in stale:
                 del mapping[number]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro.gossip.base import bind_multicast
 from repro.gossip.messages import BlockPush
 from repro.gossip.view import OrganizationView
 from repro.ledger.block import Block
@@ -48,6 +49,7 @@ class InfectAndDiePush:
         self.t_push = t_push
         self.buffer_max = buffer_max
         self._rng = host.rng("push-targets")
+        self._multicast = bind_multicast(host)
         self._buffer: List[Block] = []
         self._flush_pending = False
         self._on_push = on_push
@@ -78,9 +80,11 @@ class InfectAndDiePush:
 
     def _push(self, blocks: List[Block]) -> None:
         targets = self.view.sample_org(self._rng, self.fout)
+        multicast = self._multicast
         for block in blocks:
-            for target in targets:
-                self.host.send(target, BlockPush(block, counter=0))
+            # One shared BlockPush per block across the fanout (receivers
+            # only read fields), multicast as a single pooled network event.
+            multicast(targets, BlockPush(block, counter=0))
             self.blocks_pushed += 1
             if self._on_push is not None:
                 self._on_push(block, targets)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.gossip.base import bind_multicast
 from repro.gossip.messages import RecoveryRequest, RecoveryResponse, StateInfo
 from repro.gossip.view import OrganizationView
 from repro.ledger.block import Block
@@ -51,6 +52,7 @@ class RecoveryComponent:
         self.batch_max = batch_max
         self._deliver = deliver
         self._rng = host.rng("recovery")
+        self._multicast = bind_multicast(host)
         self.known_heights: Dict[str, int] = {}
         self.recovery_requests_sent = 0
         self.blocks_recovered = 0
@@ -66,9 +68,10 @@ class RecoveryComponent:
 
     def _broadcast_state_info(self) -> None:
         targets = self.view.sample_channel(self._rng, self.state_info_fanout)
-        height = self.host.ledger_height
-        for target in targets:
-            self.host.send(target, StateInfo(height))
+        if targets:
+            # One shared StateInfo for the whole fanout (receivers only
+            # read the height), multicast as a single pooled network event.
+            self._multicast(targets, StateInfo(self.host.ledger_height))
 
     def on_state_info(self, src: str, message: StateInfo) -> None:
         previous = self.known_heights.get(src, 0)

@@ -9,11 +9,11 @@ channel (paper §III-A).
 
 from __future__ import annotations
 
-import random
 import sys
+from functools import partial
 from typing import Dict, List, Sequence
 
-from repro.simulation.random import sample_without
+from repro.simulation.random import sample_from
 
 
 class OrganizationView:
@@ -46,6 +46,11 @@ class OrganizationView:
         self._org_others: List[str] = [intern(name) for name in org_peers if name != self_name]
         self._org_peers: List[str] = [intern(name) for name in org_peers]
         self._channel_others: List[str] = [intern(name) for name in channel_peers if name != self_name]
+        # Pre-bound samplers (C-level partial call, no wrapper frame):
+        # target selection runs once per gossip fanout, which makes these
+        # two of the hottest calls in the simulator.
+        self.sample_org = partial(sample_from, self._org_others)
+        self.sample_channel = partial(sample_from, self._channel_others)
 
     @property
     def org_size(self) -> int:
@@ -66,13 +71,10 @@ class OrganizationView:
     def is_leader(self) -> bool:
         return self.self_name == self.leader
 
-    def sample_org(self, rng: random.Random, k: int, exclude: Sequence[str] = ()) -> List[str]:
-        """``k`` distinct random org peers, excluding self and ``exclude``."""
-        return sample_without(rng, self._org_others, k, exclude)
-
-    def sample_channel(self, rng: random.Random, k: int, exclude: Sequence[str] = ()) -> List[str]:
-        """``k`` distinct random channel peers (recovery is cross-org)."""
-        return sample_without(rng, self._channel_others, k, exclude)
+    # ``sample_org(rng, k, exclude=())`` — k distinct random org peers,
+    # excluding self — and ``sample_channel(rng, k, exclude=())`` — k
+    # distinct random channel peers (recovery is cross-org) — are bound as
+    # instance partials in __init__; see the comment there.
 
 
 def build_views(

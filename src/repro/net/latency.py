@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable
+from typing import Callable, List, Sequence
 
 
 class LatencyModel:
@@ -31,6 +31,20 @@ class LatencyModel:
         """
         return lambda src, dst: self.sample(rng, src, dst)
 
+    def bind_batch(self, rng: random.Random) -> "Callable[[str, Sequence[str]], List[float]]":
+        """Return a ``(src, dsts) -> [delay, ...]`` batch sampler.
+
+        The multicast fast path draws one latency per destination in one
+        call frame. The RNG-order contract is strict: a batch draw MUST
+        consume ``rng`` exactly as sequential :meth:`sample` calls in
+        destination order would, so a multicast fanout reproduces the
+        per-copy ``send`` loop's draws bit-for-bit. Subclasses specialize
+        this to hoist the per-draw frame; this default delegates to
+        :meth:`bind` and is always contract-correct.
+        """
+        sample = self.bind(rng)
+        return lambda src, dsts: [sample(src, dst) for dst in dsts]
+
 
 class ConstantLatency(LatencyModel):
     """Fixed delay; handy for deterministic unit tests."""
@@ -46,6 +60,10 @@ class ConstantLatency(LatencyModel):
     def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
         delay = self.delay
         return lambda src, dst: delay
+
+    def bind_batch(self, rng: random.Random) -> "Callable[[str, Sequence[str]], List[float]]":
+        delay = self.delay
+        return lambda src, dsts: [delay] * len(dsts)
 
 
 class UniformLatency(LatencyModel):
@@ -64,6 +82,11 @@ class UniformLatency(LatencyModel):
         uniform = rng.uniform
         low, high = self.low, self.high
         return lambda src, dst: uniform(low, high)
+
+    def bind_batch(self, rng: random.Random) -> "Callable[[str, Sequence[str]], List[float]]":
+        uniform = rng.uniform
+        low, high = self.low, self.high
+        return lambda src, dsts: [uniform(low, high) for _ in dsts]
 
 
 class WanLatency(LatencyModel):
@@ -157,3 +180,31 @@ class LanLatency(LatencyModel):
             return base + exp_(mu + z * sigma)
 
         return sample
+
+    def bind_batch(self, rng: random.Random) -> "Callable[[str, Sequence[str]], List[float]]":
+        base = self.base
+        if self._mu is None:
+            return lambda src, dsts: [base] * len(dsts)
+        # Same inlined Kinderman-Monahan loop as bind(), one draw per
+        # destination in destination order — the whole fanout's draws cost
+        # one call frame yet consume the RNG bit-for-bit like sequential
+        # sample() calls would.
+        mu, sigma = self._mu, self.jitter_sigma
+        uniform = rng.random
+        nv_magic = random.NV_MAGICCONST
+        log_, exp_ = math.log, math.exp
+
+        def sample_batch(src: str, dsts: Sequence[str]) -> List[float]:
+            delays = []
+            append = delays.append
+            for _ in dsts:
+                while True:
+                    u1 = uniform()
+                    u2 = 1.0 - uniform()
+                    z = nv_magic * (u1 - 0.5) / u2
+                    if z * z / 4.0 <= -log_(u2):
+                        break
+                append(base + exp_(mu + z * sigma))
+            return delays
+
+        return sample_batch

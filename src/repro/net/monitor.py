@@ -3,32 +3,39 @@
 The bandwidth figures of the paper (Figs. 6, 9, 10, 11, 14) plot per-peer
 network utilization aggregated over 10-second windows. Recording every
 message individually would cost too much memory over millions of messages,
-so the monitor bins bytes on the fly into fixed-width buckets per node and
-direction, and additionally keeps whole-run totals per message kind (used to
-count full-block transmissions, digest overhead, etc.).
+so the monitor aggregates on the fly, and the two directions use storage
+shaped by how they are written:
 
-The store is one record per node — ``[tx_bins, rx_bins, tx_kinds,
-rx_kinds, tx_overflow, rx_overflow]`` — where the bins are plain lists
-indexed by bin number and grown on demand (with a sparse dict overflow for
-far-future jumps), and the kind maps accumulate ``[messages, bytes]``
-pairs.
-The hot :meth:`TrafficMonitor.record` path is therefore two string-keyed
-dict probes (interned peer names), two list-index increments and two
-kind-counter bumps; no dataclass construction, tuple keys, string
-formatting or global counters per message. Aggregate
-:class:`TrafficTotals` views are materialized lazily by summing the tx
-side of the per-node records (each message is counted exactly once there).
+* the **tx side** is written once per send or fanout: one record per
+  sender — ``[tx_bins, tx_kinds, tx_overflow]`` — where the bins are plain
+  lists indexed by bin number and grown on demand (with a sparse dict
+  overflow for far-future jumps) and the kind map accumulates
+  ``[messages, bytes]`` pairs;
+* the **rx side** is written once per *recipient*, which on multicast
+  fanouts is the hottest stretch of the whole monitor. It is therefore a
+  pair of sparse counting structures — ``bin -> size -> Counter(node ->
+  messages)`` and ``kind -> size -> Counter(node -> messages)`` — so that
+  :meth:`TrafficMonitor.record_multicast` accounts a whole fanout with
+  two C-level ``Counter.update(dsts)`` calls instead of a Python loop
+  over destinations. Byte totals are reconstructed exactly at read time
+  as ``size * messages`` (all integers, so the reconstruction is
+  bit-equal to eager accumulation).
+
+Aggregate :class:`TrafficTotals` views are materialized lazily by summing
+the tx side of the per-node records (each message is counted exactly once
+there).
 """
 
 from __future__ import annotations
 
+from collections import _count_elements  # type: ignore[attr-defined]
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-# Node record slots. The *_OVER dicts hold sparse far-future bins so a
+# Sender-record slots. The overflow dict holds sparse far-future bins so a
 # single record at a huge timestamp cannot force an O(timestamp) dense
 # allocation (see record()).
-_TX_BINS, _RX_BINS, _TX_KINDS, _RX_KINDS, _TX_OVER, _RX_OVER = range(6)
+_TX_BINS, _TX_KINDS, _TX_OVER = range(3)
 
 # A dense bin list only grows contiguously by at most this many bins per
 # record; larger jumps (idle gaps, stray far-future timers) go to the
@@ -62,15 +69,23 @@ class TrafficMonitor:
             the ability to compute both fine- and coarse-grained series.
     """
 
-    __slots__ = ("bin_width", "_unit_bins", "_node", "_last_time")
+    __slots__ = ("bin_width", "_unit_bins", "_node", "_rx_bins", "_rx_kinds", "_last_time")
 
     def __init__(self, bin_width: float = 1.0) -> None:
         if bin_width <= 0:
             raise ValueError(f"bin width must be positive, got {bin_width}")
         self.bin_width = bin_width
         self._unit_bins = bin_width == 1.0  # skip the division on the default
-        # node -> [tx_bins, rx_bins, tx_kinds, rx_kinds, tx_over, rx_over].
+        # Sender side: node -> [tx_bins, tx_kinds, tx_over].
         self._node: Dict[str, list] = {}
+        # Receiver side (sparse counting; see module docstring). Plain
+        # dicts rather than Counters: ``collections._count_elements`` (the
+        # C helper behind Counter.update) takes its exact-dict fast path
+        # and the single-message increment skips Counter's __missing__.
+        # bin index -> wire size -> {node: messages}.
+        self._rx_bins: Dict[int, Dict[int, Dict[str, int]]] = {}
+        # kind -> wire size -> {node: messages}.
+        self._rx_kinds: Dict[str, Dict[int, Dict[str, int]]] = {}
         self._last_time = 0.0
 
     def record(self, time: float, src: str, dst: str, kind: str, size: int) -> None:
@@ -79,10 +94,7 @@ class TrafficMonitor:
         node = self._node
         src_record = node.get(src)
         if src_record is None:
-            src_record = node[src] = [[], [], {}, {}, {}, {}]
-        dst_record = node.get(dst)
-        if dst_record is None:
-            dst_record = node[dst] = [[], [], {}, {}, {}, {}]
+            src_record = node[src] = [[], {}, {}]
         bins = src_record[_TX_BINS]
         grow = bin_index + 1 - len(bins)
         if grow <= 0:
@@ -95,16 +107,6 @@ class TrafficMonitor:
             # far-future record cannot force an O(timestamp) allocation.
             overflow = src_record[_TX_OVER]
             overflow[bin_index] = overflow.get(bin_index, 0) + size
-        bins = dst_record[_RX_BINS]
-        grow = bin_index + 1 - len(bins)
-        if grow <= 0:
-            bins[bin_index] += size
-        elif grow <= _MAX_DENSE_GROWTH:
-            bins.extend([0] * grow)
-            bins[bin_index] += size
-        else:
-            overflow = dst_record[_RX_OVER]
-            overflow[bin_index] = overflow.get(bin_index, 0) + size
         kinds = src_record[_TX_KINDS]
         acc = kinds.get(kind)
         if acc is None:
@@ -112,24 +114,36 @@ class TrafficMonitor:
         else:
             acc[0] += 1
             acc[1] += size
-        kinds = dst_record[_RX_KINDS]
-        acc = kinds.get(kind)
-        if acc is None:
-            kinds[kind] = [1, size]
+        by_size = self._rx_bins.get(bin_index)
+        if by_size is None:
+            by_size = self._rx_bins[bin_index] = {}
+        counts = by_size.get(size)
+        if counts is None:
+            by_size[size] = {dst: 1}
         else:
-            acc[0] += 1
-            acc[1] += size
+            counts[dst] = counts.get(dst, 0) + 1
+        by_size = self._rx_kinds.get(kind)
+        if by_size is None:
+            by_size = self._rx_kinds[kind] = {}
+        counts = by_size.get(size)
+        if counts is None:
+            by_size[size] = {dst: 1}
+        else:
+            counts[dst] = counts.get(dst, 0) + 1
         if time > self._last_time:
             self._last_time = time
 
-    def record_fanout(self, time: float, src: str, dsts: List[str], kind: str, size: int) -> None:
+    def record_multicast(self, time: float, src: str, dsts: List[str], kind: str, size: int) -> None:
         """Account one ``size``-byte message from ``src`` to each of ``dsts``.
 
         Byte-exact equivalent of calling :meth:`record` once per
-        destination (the aggregated-traffic fast path relies on this): the
-        sender's tx side is bumped once with ``len(dsts)`` messages and
-        ``size * len(dsts)`` bytes, each receiver's rx side exactly as an
-        individual record would.
+        destination (the multicast and aggregated-traffic fast paths rely
+        on this): the sender's tx side is bumped once with ``len(dsts)``
+        messages and ``size * len(dsts)`` bytes, each receiver's rx side
+        exactly as an individual record would — but through two C-level
+        ``Counter.update`` calls, so the cost is independent of the
+        fanout width (duplicate destinations count once each, like the
+        per-copy loop).
         """
         if not dsts:
             return
@@ -139,7 +153,7 @@ class TrafficMonitor:
         total = size * count
         src_record = node.get(src)
         if src_record is None:
-            src_record = node[src] = [[], [], {}, {}, {}, {}]
+            src_record = node[src] = [[], {}, {}]
         bins = src_record[_TX_BINS]
         grow = bin_index + 1 - len(bins)
         if grow <= 0:
@@ -157,29 +171,26 @@ class TrafficMonitor:
         else:
             acc[0] += count
             acc[1] += total
-        for dst in dsts:
-            dst_record = node.get(dst)
-            if dst_record is None:
-                dst_record = node[dst] = [[], [], {}, {}, {}, {}]
-            bins = dst_record[_RX_BINS]
-            grow = bin_index + 1 - len(bins)
-            if grow <= 0:
-                bins[bin_index] += size
-            elif grow <= _MAX_DENSE_GROWTH:
-                bins.extend([0] * grow)
-                bins[bin_index] += size
-            else:
-                overflow = dst_record[_RX_OVER]
-                overflow[bin_index] = overflow.get(bin_index, 0) + size
-            kinds = dst_record[_RX_KINDS]
-            acc = kinds.get(kind)
-            if acc is None:
-                kinds[kind] = [1, size]
-            else:
-                acc[0] += 1
-                acc[1] += size
+        by_size = self._rx_bins.get(bin_index)
+        if by_size is None:
+            by_size = self._rx_bins[bin_index] = {}
+        counts = by_size.get(size)
+        if counts is None:
+            counts = by_size[size] = {}
+        _count_elements(counts, dsts)
+        by_size = self._rx_kinds.get(kind)
+        if by_size is None:
+            by_size = self._rx_kinds[kind] = {}
+        counts = by_size.get(size)
+        if counts is None:
+            counts = by_size[size] = {}
+        _count_elements(counts, dsts)
         if time > self._last_time:
             self._last_time = time
+
+    # Historical name from the aggregated-background PR; the multicast
+    # generalization made the vectorized record the common case.
+    record_fanout = record_multicast
 
     @property
     def totals(self) -> TrafficTotals:
@@ -207,20 +218,35 @@ class TrafficMonitor:
 
     def nodes(self) -> List[str]:
         """All node names that sent or received at least one message."""
-        return sorted(self._node)
+        names = set(self._node)
+        for by_size in self._rx_kinds.values():
+            for counts in by_size.values():
+                names.update(counts)
+        return sorted(names)
 
     def node_totals(self, node: str) -> TrafficTotals:
         """Whole-run totals for one node (kinds prefixed ``tx:``/``rx:``)."""
         totals = TrafficTotals()
         record = self._node.get(node)
-        if record is None:
-            return totals
-        for prefix, kinds in (("tx:", record[_TX_KINDS]), ("rx:", record[_RX_KINDS])):
-            for kind, (messages, size) in kinds.items():
+        if record is not None:
+            for kind, (messages, size) in record[_TX_KINDS].items():
                 totals.messages += messages
                 totals.bytes += size
-                totals.by_kind_messages[prefix + kind] = messages
-                totals.by_kind_bytes[prefix + kind] = size
+                totals.by_kind_messages["tx:" + kind] = messages
+                totals.by_kind_bytes["tx:" + kind] = size
+        for kind, by_size in self._rx_kinds.items():
+            messages = 0
+            received = 0
+            for size, counts in by_size.items():
+                seen = counts.get(node)
+                if seen:
+                    messages += seen
+                    received += size * seen
+            if messages:
+                totals.messages += messages
+                totals.bytes += received
+                totals.by_kind_messages["rx:" + kind] = messages
+                totals.by_kind_bytes["rx:" + kind] = received
         return totals
 
     def series(
@@ -239,29 +265,31 @@ class TrafficMonitor:
         """
         if direction not in ("tx", "rx", "both"):
             raise ValueError(f"unknown direction {direction!r}")
-        record = self._node.get(node)
-        if record is None:
-            sources: List[tuple] = []
-        elif direction == "tx":
-            sources = [(record[_TX_BINS], record[_TX_OVER])]
-        elif direction == "rx":
-            sources = [(record[_RX_BINS], record[_RX_OVER])]
-        else:
-            sources = [
-                (record[_TX_BINS], record[_TX_OVER]),
-                (record[_RX_BINS], record[_RX_OVER]),
-            ]
         horizon = self._last_time if end_time is None else end_time
         n_bins = int(horizon / self.bin_width) + 1
         values = [0.0] * n_bins
-        for bins, overflow in sources:
-            for index in range(min(len(bins), n_bins)):
-                size = bins[index]
-                if size:
-                    values[index] += size
-            for index, size in overflow.items():
-                if index < n_bins:
-                    values[index] += size
+        if direction != "rx":
+            record = self._node.get(node)
+            if record is not None:
+                bins = record[_TX_BINS]
+                for index in range(min(len(bins), n_bins)):
+                    size = bins[index]
+                    if size:
+                        values[index] += size
+                for index, size in record[_TX_OVER].items():
+                    if index < n_bins:
+                        values[index] += size
+        if direction != "tx":
+            for index, by_size in self._rx_bins.items():
+                if index >= n_bins:
+                    continue
+                received = 0
+                for size, counts in by_size.items():
+                    seen = counts.get(node)
+                    if seen:
+                        received += size * seen
+                if received:
+                    values[index] += received
         return values
 
     def rate_series(

@@ -19,12 +19,34 @@ so the config, latency sampler and monitor lookups are hoisted into bound
 attributes at construction time and events are scheduled through the
 engine's handle-free :meth:`~repro.simulation.engine.Simulator.schedule_call`
 fast path.
+
+Fanout API — ``send`` vs ``multicast`` vs ``send_aggregate``
+------------------------------------------------------------
+
+Three entry points move a message, trading event cost against modelled
+detail (see ``docs/networking.md`` for the full decision guide):
+
+* :meth:`Network.send` — one copy to one destination, full physics.
+* :meth:`Network.multicast` — one shared message instance to many
+  destinations with **per-destination physics identical to a ``send``
+  loop**: same drop/disconnect filtering, same per-copy uplink
+  reservation and latency draw (in destination order — the RNG-order
+  contract), same delivery times, byte-for-byte identical monitor
+  accounting. It is purely a mechanical fast path: vectorized recording,
+  batch latency sampling, pooled delivery records, and consecutive
+  same-time arrivals coalesced into shared slot-delivery events. Every
+  gossip fanout goes through it.
+* :meth:`Network.send_aggregate` — one *approximated* batch: a single
+  latency draw and a single shared arrival for the whole fanout, no
+  receiver downlink queueing. Reserved for calibrated background traffic
+  where only the byte accounting matters.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.net.latency import LanLatency, LatencyModel
@@ -36,6 +58,11 @@ from repro.simulation.random import RandomStreams
 Handler = Callable[[str, Message], None]
 
 GIGABIT_PER_SECOND_BYTES = 125_000_000  # 1 Gbps full duplex, per direction
+
+# Free-list bound for pooled multicast delivery records (same spirit as the
+# engine's entry pool): steady-state dissemination cycles a few dozen
+# records; the cap only matters after pathological bursts.
+_RECORD_POOL_MAX = 4096
 
 
 @dataclass
@@ -87,6 +114,10 @@ class Network:
         self._uplink_free_at: Dict[str, float] = {}
         self._downlink_free_at: Dict[str, float] = {}
         self._disconnected: Dict[str, bool] = {}
+        # Count of currently disconnected nodes: lets every hot path skip
+        # the per-copy dict probes once a crashed peer has recovered (the
+        # flag dict keeps ``False`` tombstones forever).
+        self._n_disconnected = 0
         self.monitor = TrafficMonitor(bin_width=self.config.monitor_bin_width)
         self.dropped_messages = 0
         self._drop_filter: Optional[Callable[[str, str, Message], bool]] = None
@@ -96,7 +127,15 @@ class Network:
         self._overhead = self.config.envelope_overhead
         self._queue_min = self.config.downlink_queue_min_bytes
         self._sample_latency = self.config.latency_model.bind(self._rng)
+        self._sample_latency_batch = self.config.latency_model.bind_batch(self._rng)
         self._record = self.monitor.record
+        self._record_multicast = self.monitor.record_multicast
+        # Free lists for multicast delivery/arrival records. Each record's
+        # last slot is the record itself, so the engine's ``callback(*rec)``
+        # hands the callback its own record to reclaim — zero allocations
+        # per recipient in steady state.
+        self._deliver_pool: list = []
+        self._arrive_pool: list = []
 
     def register(self, name: str, handler: Handler) -> None:
         """Attach a process; ``handler(src, message)`` is called on delivery."""
@@ -111,6 +150,11 @@ class Network:
 
     def set_disconnected(self, name: str, disconnected: bool) -> None:
         """Simulate a node dropping off the network (crash / partition)."""
+        previously = self._disconnected.get(name, False)
+        if disconnected and not previously:
+            self._n_disconnected += 1
+        elif previously and not disconnected:
+            self._n_disconnected -= 1
         self._disconnected[name] = disconnected
 
     def set_drop_filter(self, drop: Optional[Callable[[str, str, Message], bool]]) -> None:
@@ -135,10 +179,11 @@ class Network:
         if src not in self._handlers:
             raise ValueError(f"unknown source node {src!r}")
         size = message.payload_size() + self._overhead
-        disconnected = self._disconnected
-        if disconnected and (disconnected.get(src) or disconnected.get(dst)):
-            self.dropped_messages += 1
-            return
+        if self._n_disconnected:
+            disconnected = self._disconnected
+            if disconnected.get(src) or disconnected.get(dst):
+                self.dropped_messages += 1
+                return
         if self._drop_filter is not None and self._drop_filter(src, dst, message):
             self.dropped_messages += 1
             return
@@ -154,13 +199,301 @@ class Network:
         uplink_free_at[src] = uplink_done
         arrival = uplink_done + self._sample_latency(src, dst)
         if size < self._queue_min:
-            sim.schedule_call(arrival + transfer, self._deliver, (src, dst, message))
+            # Single-phase delivery through a pooled record, with the heap
+            # push inlined (friend access, same pattern as the multicast
+            # loop): no scheduling call frame and no argument-tuple
+            # allocation on the hottest function of the simulator.
+            pool = self._deliver_pool
+            if pool:
+                rec = pool.pop()
+                rec[0] = arrival + transfer
+                rec[1] = src
+                rec[2] = message
+                rec[3] = dst
+            else:
+                rec = [arrival + transfer, src, message, dst, None]
+                rec[4] = rec
+            if not rec[0] >= now:
+                self._deliver_pool.append(rec)
+                sim._reject_time(rec[0])
+            entry_pool = sim._pool
+            if entry_pool:
+                entry = entry_pool.pop()
+                entry[0] = rec[0]
+                entry[1] = sim._seq
+                entry[2] = self._deliver_multicast
+                entry[3] = rec
+                entry[4] = None
+            else:
+                entry = [rec[0], sim._seq, self._deliver_multicast, rec, None]
+            sim._seq += 1
+            sim._live += 1
+            heap = sim._heap
+            _heappush(heap, entry)
+            if len(heap) > sim._peak_heap:
+                sim._peak_heap = len(heap)
             return
         # Receive-side queueing must be resolved in ARRIVAL order, not send
         # order: an early-sent message on a slow (WAN) path must not
         # reserve the receiver's downlink ahead of later-sent messages on
         # fast paths. Large messages therefore take a two-phase schedule.
         sim.schedule_call(arrival, self._arrive, (src, dst, message, transfer))
+
+    def multicast(self, src: str, dsts: Sequence[str], message: Message) -> None:
+        """Send one shared ``message`` instance from ``src`` to every
+        destination in ``dsts``, with per-destination physics identical to
+        calling :meth:`send` once per destination in order.
+
+        This is the gossip-fanout fast path. The equivalence contract is
+        exact — the property suite replays random fanouts against a naive
+        ``send`` loop and asserts the same (time, dst, message) delivery
+        sequence:
+
+        * drop rules (disconnected source/destination, drop filters) apply
+          per copy, in destination order, before that copy is recorded;
+        * the sender's uplink serializes the copies back to back and each
+          copy draws its own propagation latency, **in destination order**
+          — the RNG-order contract that keeps metrics bit-for-bit equal to
+          the per-copy loop;
+        * large copies take the same two-phase arrival/downlink schedule
+          as :meth:`send`, per destination.
+
+        What changes is purely mechanical cost: traffic is recorded
+        through one vectorized :meth:`TrafficMonitor.record_multicast`
+        call, latencies come from the model's batch sampler, deliveries
+        are scheduled through pooled records in one engine call, and
+        consecutive copies whose computed delivery times tie exactly
+        coalesce into one shared slot-delivery event (sharing is safe
+        precisely because their sequence numbers are consecutive, so no
+        foreign event can order between them).
+        """
+        if src not in self._handlers:
+            raise ValueError(f"unknown source node {src!r}")
+        # Full validation before any state change, exactly like send().
+        for dst in dsts:
+            if dst == src:
+                raise ValueError(f"{src!r} attempted to send a message to itself")
+        if "send" in self.__dict__:
+            # ``send`` was wrapped by instance assignment (integration-test
+            # instrumentation): route every copy through the wrapper so it
+            # observes the fanout traffic.
+            send = self.send
+            for dst in dsts:
+                send(src, dst, message)
+            return
+        n = len(dsts)
+        if n == 0:
+            return
+        if n == 1:
+            self.send(src, dsts[0], message)
+            return
+        if self._n_disconnected or self._drop_filter is not None:
+            self._multicast_guarded(src, dsts, message)
+            return
+        # Steady-state fast path: no fault machinery installed, so no copy
+        # can drop and the per-copy bookkeeping vectorizes.
+        size = message.payload_size() + self._overhead
+        sim = self.sim
+        now = sim._now
+        self._record_multicast(now, src, dsts, message.kind, size)
+        transfer = size / self._bandwidth
+        uplink_free_at = self._uplink_free_at
+        free_at = uplink_free_at.get(src, 0.0)
+        uplink_done = free_at if free_at > now else now
+        latencies = self._sample_latency_batch(src, dsts)
+        two_phase = size >= self._queue_min
+        if two_phase:
+            pool = self._arrive_pool
+            callback = self._arrive_multicast
+        else:
+            pool = self._deliver_pool
+            callback = self._deliver_multicast
+        # Scheduling is inlined (friend access to the engine's entry pool
+        # and heap, same pattern as ``sim._now``): one pooled record and
+        # one pooled heap entry per surviving copy, pushed in destination
+        # order with consecutive sequence numbers, no per-copy call frame.
+        entry_pool = sim._pool
+        heap = sim._heap
+        seq = sim._seq
+        previous_time = -1.0
+        previous_rec: Optional[list] = None
+        index = 0
+        for dst in dsts:
+            uplink_done += transfer
+            arrival = uplink_done + latencies[index]
+            index += 1
+            event_time = arrival if two_phase else arrival + transfer
+            if not event_time >= now:
+                # Negative or NaN latency from a broken model: fail loudly
+                # like schedule_call would, with the counters consistent.
+                sim._live += seq - sim._seq
+                sim._seq = seq
+                sim._reject_time(event_time)
+            if event_time == previous_time:
+                # Exact tie with the immediately preceding copy: fold into
+                # its (already scheduled) record, keeping destination
+                # (= sequence) order. Heap ordering is untouched — only
+                # the record's target slot mutates.
+                target = previous_rec[3]
+                if target.__class__ is list:
+                    target.append(dst)
+                else:
+                    previous_rec[3] = [target, dst]
+                continue
+            if pool:
+                rec = pool.pop()
+                rec[0] = event_time
+                rec[1] = src
+                rec[2] = message
+                rec[3] = dst
+            elif two_phase:
+                rec = [event_time, src, message, dst, transfer, None]
+                rec[5] = rec
+            else:
+                rec = [event_time, src, message, dst, None]
+                rec[4] = rec
+            if two_phase:
+                rec[4] = transfer
+            if entry_pool:
+                entry = entry_pool.pop()
+                entry[0] = event_time
+                entry[1] = seq
+                entry[2] = callback
+                entry[3] = rec
+                entry[4] = None
+            else:
+                entry = [event_time, seq, callback, rec, None]
+            seq += 1
+            _heappush(heap, entry)
+            previous_time = event_time
+            previous_rec = rec
+        uplink_free_at[src] = uplink_done
+        sim._live += seq - sim._seq
+        sim._seq = seq
+        if len(heap) > sim._peak_heap:
+            sim._peak_heap = len(heap)
+
+    def _multicast_guarded(self, src: str, dsts: Sequence[str], message: Message) -> None:
+        """Multicast with fault machinery active: the exact per-copy loop.
+
+        Checks, monitor records, uplink reservations and latency draws
+        interleave per destination precisely as the naive ``send`` loop
+        would, so re-entrant fault mutations — e.g. a drop filter that
+        disconnects the source or swaps itself mid-fanout — observe and
+        produce identical state. The filter and disconnect set are
+        re-read per copy for exactly that reason.
+        """
+        size = message.payload_size() + self._overhead
+        kind = message.kind
+        sim = self.sim
+        record = self._record
+        sample = self._sample_latency
+        transfer = size / self._bandwidth
+        queue_min = self._queue_min
+        uplink_free_at = self._uplink_free_at
+        for dst in dsts:
+            if self._n_disconnected:
+                disconnected = self._disconnected
+                if disconnected.get(src) or disconnected.get(dst):
+                    self.dropped_messages += 1
+                    continue
+            drop_filter = self._drop_filter
+            if drop_filter is not None and drop_filter(src, dst, message):
+                self.dropped_messages += 1
+                continue
+            now = sim._now
+            record(now, src, dst, kind, size)
+            free_at = uplink_free_at.get(src, 0.0)
+            uplink_done = (free_at if free_at > now else now) + transfer
+            uplink_free_at[src] = uplink_done
+            arrival = uplink_done + sample(src, dst)
+            if size < queue_min:
+                sim.schedule_call(arrival + transfer, self._deliver, (src, dst, message))
+            else:
+                sim.schedule_call(arrival, self._arrive, (src, dst, message, transfer))
+
+    def _deliver_multicast(self, time: float, src: str, message: Message, target, rec: list) -> None:
+        # Reclaim the pooled record first (locals hold everything needed).
+        # Only the message slot is cleared: a parked record must not pin a
+        # 160 KB block, while node-name strings are interned and live for
+        # the whole run anyway.
+        rec[2] = None
+        pool = self._deliver_pool
+        if len(pool) < _RECORD_POOL_MAX:
+            pool.append(rec)
+        handlers = self._handlers
+        if target.__class__ is list:
+            for dst in target:
+                # Disconnect state is re-read per copy: a handler earlier
+                # in the group may disconnect a later recipient, and the
+                # per-copy send loop this path must match would drop that
+                # copy at its own delivery event.
+                if self._n_disconnected and self._disconnected.get(dst):
+                    self.dropped_messages += 1
+                    continue
+                handler = handlers.get(dst)
+                if handler is None:
+                    self.dropped_messages += 1
+                    continue
+                handler(src, message)
+            return
+        if self._n_disconnected and self._disconnected.get(target):
+            self.dropped_messages += 1
+            return
+        handler = handlers.get(target)
+        if handler is None:
+            self.dropped_messages += 1
+            return
+        handler(src, message)
+
+    def _arrive_multicast(
+        self, time: float, src: str, message: Message, target, transfer: float, rec: list
+    ) -> None:
+        """Phase two of a large-copy multicast: grant receiver downlinks.
+
+        Runs at the copies' (shared or singleton) physical arrival time and
+        reserves each destination's downlink in destination order — exactly
+        the reservations the per-copy :meth:`_arrive` events would make,
+        since tied arrivals carry consecutive sequence numbers. Deliveries
+        are then re-scheduled through the pooled single-phase records,
+        re-grouping any delivery-time ties.
+        """
+        rec[2] = None
+        pool = self._arrive_pool
+        if len(pool) < _RECORD_POOL_MAX:
+            pool.append(rec)
+        now = self.sim._now
+        downlink_free_at = self._downlink_free_at
+        deliver_pool = self._deliver_pool
+        if target.__class__ is not list:
+            target = (target,)
+        records: list = []
+        previous_time = -1.0
+        previous_rec: Optional[list] = None
+        for dst in target:
+            free_at = downlink_free_at.get(dst, 0.0)
+            delivered = (free_at if free_at > now else now) + transfer
+            downlink_free_at[dst] = delivered
+            if delivered == previous_time:
+                grouped = previous_rec[3]
+                if grouped.__class__ is list:
+                    grouped.append(dst)
+                else:
+                    previous_rec[3] = [grouped, dst]
+                continue
+            if deliver_pool:
+                out = deliver_pool.pop()
+                out[0] = delivered
+                out[1] = src
+                out[2] = message
+                out[3] = dst
+            else:
+                out = [delivered, src, message, dst, None]
+                out[4] = out
+            records.append(out)
+            previous_time = delivered
+            previous_rec = out
+        self.sim.schedule_records(self._deliver_multicast, records)
 
     def send_aggregate(self, src: str, dsts: Sequence[str], message: Message) -> None:
         """Send one identical metadata message to each destination as a
@@ -188,6 +521,12 @@ class Network:
           path deliberately trades that receive-contention detail away —
           metadata is a small, steady fraction of any receiver's downlink,
           and the golden tolerance check pins the resulting latency drift.
+
+        Drop state is re-read per copy, so a drop filter that mutates the
+        fault machinery mid-fanout (disconnecting the source, swapping
+        itself) affects the remaining copies exactly as it would a
+        per-copy loop — a mid-fanout drop can never leave the shared-event
+        accounting out of step with the drop counters.
         """
         if src not in self._handlers:
             raise ValueError(f"unknown source node {src!r}")
@@ -197,38 +536,67 @@ class Network:
             if dst == src:
                 raise ValueError(f"{src!r} attempted to send a message to itself")
         size = message.payload_size() + self._overhead
-        disconnected = self._disconnected
-        if disconnected and disconnected.get(src):
-            self.dropped_messages += len(dsts)
-            return
-        drop_filter = self._drop_filter
-        recipients = []
-        for dst in dsts:
-            if disconnected and disconnected.get(dst):
-                self.dropped_messages += 1
-                continue
-            if drop_filter is not None and drop_filter(src, dst, message):
-                self.dropped_messages += 1
-                continue
-            recipients.append(dst)
-        if not recipients:
-            return
+        if self._n_disconnected == 0 and self._drop_filter is None:
+            # Steady state: no fault machinery installed, nothing can drop
+            # — every destination is a recipient (copied: the scheduled
+            # delivery must not alias a caller-owned list).
+            recipients = list(dsts)
+            if not recipients:
+                return
+        else:
+            if self._disconnected.get(src):
+                self.dropped_messages += len(dsts)
+                return
+            recipients = []
+            for dst in dsts:
+                if self._n_disconnected:
+                    disconnected = self._disconnected
+                    if disconnected.get(src) or disconnected.get(dst):
+                        self.dropped_messages += 1
+                        continue
+                drop_filter = self._drop_filter
+                if drop_filter is not None and drop_filter(src, dst, message):
+                    self.dropped_messages += 1
+                    continue
+                recipients.append(dst)
+            if not recipients:
+                return
         sim = self.sim
         now = sim._now
-        self.monitor.record_fanout(now, src, recipients, message.kind, size)
+        self._record_multicast(now, src, recipients, message.kind, size)
         transfer = size / self._bandwidth
         uplink_free_at = self._uplink_free_at
         free_at = uplink_free_at.get(src, 0.0)
         uplink_done = (free_at if free_at > now else now) + transfer * len(recipients)
         uplink_free_at[src] = uplink_done
         arrival = uplink_done + self._sample_latency(src, recipients[0]) + transfer
-        sim.schedule_call(arrival, self._deliver_aggregate, (src, recipients, message))
+        if not arrival >= now:
+            sim._reject_time(arrival)
+        # Inlined heap push (friend access), as in send()/multicast():
+        # the background emitters call this once per period per peer.
+        entry_pool = sim._pool
+        if entry_pool:
+            entry = entry_pool.pop()
+            entry[0] = arrival
+            entry[1] = sim._seq
+            entry[2] = self._deliver_aggregate
+            entry[3] = (src, recipients, message)
+            entry[4] = None
+        else:
+            entry = [arrival, sim._seq, self._deliver_aggregate, (src, recipients, message), None]
+        sim._seq += 1
+        sim._live += 1
+        heap = sim._heap
+        _heappush(heap, entry)
+        if len(heap) > sim._peak_heap:
+            sim._peak_heap = len(heap)
 
     def _deliver_aggregate(self, src: str, recipients: list, message: Message) -> None:
-        disconnected = self._disconnected
         handlers = self._handlers
         for dst in recipients:
-            if disconnected and disconnected.get(dst):
+            # Re-read per copy: a handler may disconnect a later recipient
+            # of the same batch (see _deliver_multicast).
+            if self._n_disconnected and self._disconnected.get(dst):
                 self.dropped_messages += 1
                 continue
             handler = handlers.get(dst)
@@ -245,8 +613,7 @@ class Network:
         self.sim.schedule_call(delivered, self._deliver, (src, dst, message))
 
     def _deliver(self, src: str, dst: str, message: Message) -> None:
-        disconnected = self._disconnected
-        if disconnected and disconnected.get(dst):
+        if self._n_disconnected and self._disconnected.get(dst):
             self.dropped_messages += 1
             return
         handler = self._handlers.get(dst)
@@ -254,18 +621,3 @@ class Network:
             self.dropped_messages += 1
             return
         handler(src, message)
-
-    def broadcast(self, src: str, dsts: Sequence[str], message_factory: Callable[[], Message]) -> None:
-        """Send an independent copy of a message to each destination.
-
-        A factory is taken instead of an instance so each copy gets its own
-        ``msg_id`` and can be mutated independently (e.g. per-hop counters).
-        The source is validated once up front — before any copy is built or
-        any traffic recorded — and the bound ``send`` is reused across the
-        loop instead of resolving it per destination.
-        """
-        if src not in self._handlers:
-            raise ValueError(f"unknown source node {src!r}")
-        send = self.send
-        for dst in dsts:
-            send(src, dst, message_factory())

@@ -18,6 +18,7 @@ from repro.perf.profile import (
     CoreBenchResult,
     profile_core,
     run_core_benchmark,
+    run_recovery_benchmark,
     write_bench_json,
 )
 from repro.perf.regression import (
@@ -30,6 +31,7 @@ from repro.perf.regression import (
     check_reference_tolerance,
     compare_bench,
     metric_snapshot,
+    recovery_metric_snapshot,
     update_golden,
 )
 
@@ -45,7 +47,9 @@ __all__ = [
     "compare_bench",
     "metric_snapshot",
     "profile_core",
+    "recovery_metric_snapshot",
     "run_core_benchmark",
+    "run_recovery_benchmark",
     "update_golden",
     "write_bench_json",
 ]

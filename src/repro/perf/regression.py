@@ -116,18 +116,22 @@ PR1_REFERENCE_METRICS: Dict[str, dict] = {
     },
 }
 
-# name -> (gossip factory, n_peers, blocks, seed, background factory).
+# name -> zero-arg callable returning the scenario's metric snapshot.
 # The background scenario has no PR-1 counterpart; it pins the determinism
 # of the aggregated-emission path (wheel ticks, batched byte accounting).
+# The recovery scenario likewise has no PR-1 counterpart: it pins the
+# multicast fast path's guarded (fault-active) branches — crash drops,
+# state-info fanouts to dead peers, catch-up batches after recovery.
 _SCENARIOS = {
-    "enhanced-n50-b6-seed1": (
-        lambda: EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 1, None),
-    "enhanced-n50-b6-seed2": (
-        lambda: EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 2, None),
-    "original-n30-b4-seed1": (lambda: OriginalGossipConfig(), 30, 4, 1, None),
-    "enhanced-n50-b6-seed1-background": (
-        lambda: EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 1,
-        lambda: BackgroundTrafficConfig()),
+    "enhanced-n50-b6-seed1": lambda: metric_snapshot(
+        EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 1),
+    "enhanced-n50-b6-seed2": lambda: metric_snapshot(
+        EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 2),
+    "original-n30-b4-seed1": lambda: metric_snapshot(OriginalGossipConfig(), 30, 4, 1),
+    "enhanced-n50-b6-seed1-background": lambda: metric_snapshot(
+        EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 1,
+        background=BackgroundTrafficConfig()),
+    "recovery-crash-n50-b6-seed1": lambda: recovery_metric_snapshot(50, 6, 1),
 }
 
 
@@ -152,11 +156,55 @@ def metric_snapshot(
         background=background,
     )
     result = run_dissemination(config)
-    stats = result.latency_summary()
-    totals = result.net.network.monitor.totals
+    return _snapshot_net(result.net, result.latency_summary())
+
+
+def recovery_metric_snapshot(n_peers: int, blocks: int, seed: int) -> dict:
+    """Run a crash-fault recovery scenario and snapshot its metrics.
+
+    A tenth of the regular peers (deterministically the first by name)
+    crash at t=2 s and recover at t=6 s; the run continues until every
+    peer holds every block, so the snapshot pins the recovery catch-up
+    traffic (state-info multicast fanouts, batched RecoveryResponses) and
+    the drop accounting of in-flight messages to crashed peers.
+    """
+    from repro.experiments.builders import build_network
+    from repro.experiments.workloads import synthetic_block_transactions
+    from repro.fabric.config import PeerConfig, ValidationMode
+
+    net = build_network(
+        n_peers=n_peers,
+        gossip=EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2),
+        seed=seed,
+        peer_config=PeerConfig(
+            per_tx_validation_time=0.004, validation_mode=ValidationMode.DELAY_ONLY
+        ),
+        background=BackgroundTrafficConfig(),
+    )
+    net.start()
+    for name in net.regular_peers()[: max(1, n_peers // 10)]:
+        peer = net.peers[name]
+        net.sim.schedule_at(2.0, peer.crash)
+        net.sim.schedule_at(6.0, peer.recover)
+    transactions = synthetic_block_transactions(50, 3_200)
+    for index in range(blocks):
+        net.sim.schedule_at((index + 1) * 1.5, net.orderer.emit_block, transactions)
+    workload_end = blocks * 1.5
+    net.run_until(
+        lambda: net.sim.now >= workload_end and net.all_peers_received(blocks),
+        step=1.0,
+        max_time=workload_end + 120.0,
+    )
+    snapshot = _snapshot_net(net, net.tracker.summary())
+    snapshot["dropped_messages"] = net.network.dropped_messages
+    return snapshot
+
+
+def _snapshot_net(net, stats) -> dict:
+    totals = net.network.monitor.totals
     return {
-        "events_executed": result.net.sim.events_executed,
-        "final_time": result.net.sim.now,
+        "events_executed": net.sim.events_executed,
+        "final_time": net.sim.now,
         "latency_max": stats.maximum,
         "latency_mean": stats.mean,
         "latency_p50": stats.p50,
@@ -168,9 +216,7 @@ def metric_snapshot(
 
 
 def _snapshot_scenario(name: str) -> dict:
-    gossip_factory, n_peers, blocks, seed, background_factory = _SCENARIOS[name]
-    background = background_factory() if background_factory is not None else None
-    return metric_snapshot(gossip_factory(), n_peers, blocks, seed, background=background)
+    return _SCENARIOS[name]()
 
 
 def check_determinism(
@@ -306,21 +352,27 @@ def compare_bench(
     the current run are reported too (silent coverage loss is a failure).
     """
     failures: List[str] = []
-    baseline_points = {point["n_peers"]: point for point in baseline.get("results", [])}
-    current_points = {point["n_peers"]: point for point in current.get("results", [])}
-    for n_peers, base_point in sorted(baseline_points.items()):
-        point = current_points.get(n_peers)
-        if point is None:
-            failures.append(f"n={n_peers}: missing from current benchmark run")
-            continue
-        base_eps = base_point["events_per_sec"]
-        current_eps = point["events_per_sec"]
-        if current_eps < base_eps * (1.0 - threshold):
-            failures.append(
-                f"n={n_peers}: events/sec regressed {1.0 - current_eps / base_eps:.1%} "
-                f"({current_eps:,.0f} vs baseline {base_eps:,.0f}, "
-                f"threshold {threshold:.0%})"
-            )
+
+    def compare_section(section: str, label: str) -> None:
+        baseline_points = {point["n_peers"]: point for point in baseline.get(section, [])}
+        current_points = {point["n_peers"]: point for point in current.get(section, [])}
+        for n_peers, base_point in sorted(baseline_points.items()):
+            point = current_points.get(n_peers)
+            if point is None:
+                failures.append(f"{label} n={n_peers}: missing from current benchmark run")
+                continue
+            base_eps = base_point["events_per_sec"]
+            current_eps = point["events_per_sec"]
+            if current_eps < base_eps * (1.0 - threshold):
+                failures.append(
+                    f"{label} n={n_peers}: events/sec regressed "
+                    f"{1.0 - current_eps / base_eps:.1%} "
+                    f"({current_eps:,.0f} vs baseline {base_eps:,.0f}, "
+                    f"threshold {threshold:.0%})"
+                )
+
+    compare_section("results", "dissemination")
+    compare_section("recovery_results", "recovery")
     return failures
 
 

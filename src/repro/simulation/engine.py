@@ -232,6 +232,50 @@ class Simulator:
         if len(heap) > self._peak_heap:
             self._peak_heap = len(heap)
 
+    def schedule_records(self, callback: Callable[..., Any], records: List[list]) -> None:
+        """Batch fast path: schedule ``callback(*rec)`` at ``rec[0]`` for
+        each record in ``records``.
+
+        The record list itself is the event's argument vector — the run
+        loop unpacks it with ``callback(*rec)`` — so a caller that makes
+        the record's last slot the record itself can reclaim it into a
+        free list inside the callback. This is what the network multicast
+        path uses for its pooled slot-delivery records: one call frame
+        schedules a whole fanout, sequence numbers are assigned in list
+        order (consecutively, which the multicast tie-grouping proof
+        relies on), and steady-state dissemination allocates neither heap
+        entries (engine free list) nor argument tuples (caller free list)
+        per recipient.
+        """
+        now = self._now
+        seq = self._seq
+        pool = self._pool
+        heap = self._heap
+        heappush = _heappush
+        for rec in records:
+            time = rec[0]
+            if not (now <= time < _INF):
+                # Repair the counters consumed so far before raising so a
+                # rejected record cannot corrupt the live count.
+                self._live += seq - self._seq
+                self._seq = seq
+                self._reject_time(time)
+            if pool:
+                entry = pool.pop()
+                entry[0] = time
+                entry[1] = seq
+                entry[2] = callback
+                entry[3] = rec
+                entry[4] = None
+            else:
+                entry = [time, seq, callback, rec, None]
+            seq += 1
+            heappush(heap, entry)
+        self._live += seq - self._seq
+        self._seq = seq
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+
     def _push(self, time: float, callback: Callable[..., Any], args: tuple) -> list:
         # ``not (now <= time < inf)`` is a single guard catching NaN
         # (comparisons are False), +/-inf and past times at once.
@@ -312,6 +356,10 @@ class Simulator:
         heappop = _heappop
         pool = self._pool
         heap = self._heap
+        # One comparison per event instead of two None tests: absent
+        # bounds become sentinels no event time / count can exceed.
+        limit = _INF if until is None else until
+        event_budget = _INF if max_events is None else max_events
         try:
             while heap:
                 entry = heap[0]
@@ -323,7 +371,7 @@ class Simulator:
                         pool.append(entry)
                     continue
                 event_time = entry[0]
-                if until is not None and event_time > until:
+                if event_time > limit:
                     break
                 heappop(heap)
                 self._now = event_time
@@ -343,7 +391,7 @@ class Simulator:
                 # callback) swaps the heap list object; re-bind after each
                 # callback, the only place the swap can happen.
                 heap = self._heap
-                if max_events is not None and executed >= max_events:
+                if executed >= event_budget:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; possible runaway simulation"
                     )

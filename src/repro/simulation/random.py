@@ -64,6 +64,18 @@ def sample_without(
     peers uniformly at random among the other peers. If fewer than ``k``
     candidates remain the whole candidate set is returned (in random order).
     """
+    return sample_from(population, rng, k, exclude)
+
+
+def sample_from(
+    population: Sequence[T], rng: random.Random, k: int, exclude: Sequence[T] = ()
+) -> List[T]:
+    """:func:`sample_without` with the population first.
+
+    The argument order exists so membership views can pre-bind their
+    candidate lists with :func:`functools.partial` (a C-level call, no
+    wrapper frame on the per-fanout path).
+    """
     if exclude:
         excluded = set(exclude)
         candidates: Sequence[T] = [item for item in population if item not in excluded]
@@ -77,11 +89,13 @@ def sample_without(
         rng.shuffle(shuffled)
         return shuffled
     # Inline of random.Random.sample (CPython 3.9+ algorithm) minus its
-    # per-call ABC isinstance check and counts machinery. It MUST consume
-    # ``rng._randbelow`` draws exactly like rng.sample(candidates, k) —
-    # gossip target selection is the single biggest RNG consumer and the
-    # determinism contract pins the draw sequence bit-for-bit.
-    randbelow = rng._randbelow
+    # per-call ABC isinstance check and counts machinery, with
+    # ``_randbelow_with_getrandbits`` inlined on top (one C ``getrandbits``
+    # call per draw instead of a Python frame wrapping it). It MUST
+    # consume ``rng.getrandbits`` bits exactly like rng.sample(candidates,
+    # k) — gossip target selection is the single biggest RNG consumer and
+    # the determinism contract pins the draw sequence bit-for-bit.
+    getrandbits = rng.getrandbits
     result: List[T] = [None] * k  # type: ignore[list-item]
     setsize = 21
     if k > 5:
@@ -89,16 +103,25 @@ def sample_without(
     if n <= setsize:
         pool = list(candidates)
         for i in range(k):
-            j = randbelow(n - i)
+            bound = n - i
+            bits = bound.bit_length()
+            j = getrandbits(bits)
+            while j >= bound:
+                j = getrandbits(bits)
             result[i] = pool[j]
-            pool[j] = pool[n - i - 1]
+            pool[j] = pool[bound - 1]
     else:
         selected: set = set()
         selected_add = selected.add
+        bits = n.bit_length()
         for i in range(k):
-            j = randbelow(n)
+            j = getrandbits(bits)
+            while j >= n:
+                j = getrandbits(bits)
             while j in selected:
-                j = randbelow(n)
+                j = getrandbits(bits)
+                while j >= n:
+                    j = getrandbits(bits)
             selected_add(j)
             result[i] = candidates[j]
     return result

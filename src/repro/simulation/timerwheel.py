@@ -264,7 +264,12 @@ class TimerWheel:
             slot = self._fired_through + 1
         return slot
 
-    def _insert(self, timer: WheelTimer, time: float) -> None:
+    def _insert(self, timer: WheelTimer, time: float) -> Optional[list]:
+        """Bucket ``timer`` for its next firing.
+
+        Returns the ring bucket the timer landed in (for the re-arm memo
+        in :meth:`_fire_slot`), or None when it parked in the overflow.
+        """
         slot = self._slot_for(time)
         seq = self._arm_seq
         self._arm_seq = seq + 1
@@ -282,12 +287,13 @@ class TimerWheel:
             position = slot % self._ring_ticks
             bucket = self._ring[position]
             if bucket is None:
-                self._ring[position] = [(seq, timer)]
+                bucket = self._ring[position] = [(seq, timer)]
             else:
                 bucket.append((seq, timer))
             if slot not in self._armed_slots:
                 self._armed_slots.add(slot)
                 self._arm_slot(slot)
+            return bucket
         else:
             rotation = slot // self._ring_ticks
             entries = self._far.get(rotation)
@@ -306,6 +312,7 @@ class TimerWheel:
                 if cascade_at < now:
                     cascade_at = now
                 self._sim.schedule_call(cascade_at, self._cascade, (rotation,))
+            return None
 
     def _arm_slot(self, slot: int) -> None:
         # The clock can sit a hair *past* the boundary when _slot_for's
@@ -355,16 +362,32 @@ class TimerWheel:
             # out of order relative to direct ones.
             bucket.sort()
         slot_time = slot / self._tps
+        # Re-arm memo: every non-jittered timer of the same period re-arms
+        # at the same ``slot_time + period``, i.e. into the same bucket.
+        # Computing the target slot once per period (instead of once per
+        # timer) skips the _slot_for math for the whole herd of same-period
+        # emitters sharing a slot, while assigning arming sequence numbers
+        # in exactly the order the per-timer path would.
+        memo_period = -1.0
+        memo_bucket: Optional[list] = None
         for seq, timer in bucket:
             if timer._stopped:
                 continue
             timer._ticks += 1
             timer._callback()
-            if not timer._stopped:
-                next_time = slot_time + timer._period
-                if timer._jitter is not None:
-                    next_time = max(slot_time, next_time + timer._jitter())
-                self._insert(timer, next_time)
+            if timer._stopped:
+                continue
+            period = timer._period
+            if timer._jitter is None:
+                if period == memo_period and memo_bucket is not None:
+                    arm_seq = self._arm_seq
+                    self._arm_seq = arm_seq + 1
+                    memo_bucket.append((arm_seq, timer))
+                    continue
+                memo_bucket = self._insert(timer, slot_time + period)
+                memo_period = period
+                continue
+            self._insert(timer, max(slot_time, slot_time + period + timer._jitter()))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

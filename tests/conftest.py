@@ -89,6 +89,12 @@ class FakeHost:
     def send(self, dst: str, message) -> None:
         self.sent.append((dst, message))
 
+    def multicast(self, dsts, message) -> None:
+        # Per-copy recording keeps fanout traffic observable exactly like
+        # a send loop, matching the real host's equivalence contract.
+        for dst in dsts:
+            self.sent.append((dst, message))
+
     def rng(self, purpose: str) -> random.Random:
         return self._streams.stream(f"{self.name}:{purpose}")
 

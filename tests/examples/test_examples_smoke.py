@@ -1,0 +1,48 @@
+"""Smoke test: every example must run end-to-end under ``PYTHONPATH=src``.
+
+The examples are the repository's public entry points; nothing else
+imports them, so without this test an API change can silently rot them
+(exactly what happened to ``conflict_study.py``'s ledger cross-check
+assertion before the orderer's pending-batch drain was fixed). Each
+example runs as a real subprocess — the same way a reader would launch
+it — and must exit cleanly. They are all laptop-scale (seconds each by
+design), so the whole sweep stays well inside tier-1 budget.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_every_example_is_covered():
+    """A new example file is automatically picked up by the sweep."""
+    assert EXAMPLES, "examples/ directory is empty?"
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_under_pythonpath_src(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} exited with {result.returncode}\n"
+        f"--- stderr tail ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -170,7 +170,7 @@ def test_forget_before_clears_state():
     push.on_pair(block, 0)
     push.on_digest("p3", PushDigest(5, "b" * 64, counter=1))
     push.forget_before(6)
-    assert push._seen_pairs == {}
+    assert push._seen_pairs == set()
     assert push._pending_pairs == {}
     assert push._inflight_requests == {}
 

@@ -167,7 +167,7 @@ def test_far_future_record_does_not_allocate_dense_bins():
     monitor.record(100_000.0, "a", "b", "M", 20)  # beyond the dense-growth cap
     record = monitor._node["a"]
     assert len(record[0]) < 10_000  # dense tx bins stayed small
-    assert record[4] == {100_000: 20}  # sparse overflow holds the stray bin
+    assert record[2] == {100_000: 20}  # sparse overflow holds the stray bin
     assert monitor.series("a", "tx", end_time=2.0) == [10.0, 0.0, 0.0]
     full = monitor.series("a", "tx")
     assert full[0] == 10.0
@@ -199,7 +199,7 @@ def test_overflow_and_dense_bins_accumulate_independently():
     monitor.record(99_999.5, "a", "b", "M", 2)  # same overflow bin
     monitor.record(3.0, "a", "b", "M", 30)  # dense again after the stray
     record = monitor._node["a"]
-    assert record[4] == {99_999: 3}
+    assert record[2] == {99_999: 3}
     assert record[0][0] == 10 and record[0][3] == 30
     series = monitor.series("a", "tx")
     assert series[0] == 10.0 and series[3] == 30.0 and series[99_999] == 3.0
@@ -213,10 +213,10 @@ def test_overflow_threshold_boundary_grows_dense():
     monitor = TrafficMonitor(bin_width=1.0)
     monitor.record(float(_MAX_DENSE_GROWTH - 1), "a", "b", "M", 5)
     record = monitor._node["a"]
-    assert len(record[0]) == _MAX_DENSE_GROWTH and record[4] == {}
+    assert len(record[0]) == _MAX_DENSE_GROWTH and record[2] == {}
     monitor.record(float(2 * _MAX_DENSE_GROWTH + 1), "a", "b", "M", 7)
     assert len(record[0]) == _MAX_DENSE_GROWTH  # unchanged
-    assert record[4] == {2 * _MAX_DENSE_GROWTH + 1: 7}
+    assert record[2] == {2 * _MAX_DENSE_GROWTH + 1: 7}
 
 
 def test_totals_are_lazy_and_reflect_later_records():

@@ -213,15 +213,18 @@ def test_drop_filter(sim):
     assert network.dropped_messages == 1
 
 
-def test_broadcast_sends_independent_copies(sim):
+def test_multicast_delivers_shared_instance_to_every_destination(sim):
     network = make_network(sim)
     register_sink(network, "a")
     inbox_b = register_sink(network, "b")
     inbox_c = register_sink(network, "c")
-    network.broadcast("a", ["b", "c"], lambda: RawMessage(10))
+    message = RawMessage(10)
+    network.multicast("a", ["b", "c"], message)
     sim.run()
     assert len(inbox_b) == len(inbox_c) == 1
-    assert inbox_b[0][1].msg_id != inbox_c[0][1].msg_id
+    # One shared instance across the fanout (gossip messages are immutable
+    # after construction); per-copy allocation was the old broadcast() API.
+    assert inbox_b[0][1] is message and inbox_c[0][1] is message
 
 
 def test_monitor_records_at_send_time(sim):
@@ -322,29 +325,223 @@ def test_small_message_pipeline_is_single_phase_but_ordered(sim):
     assert order == ["b", "a"]
 
 
-def test_broadcast_accepts_any_sequence(sim):
+def test_multicast_accepts_any_sequence(sim):
     network = make_network(sim)
     register_sink(network, "a")
     inbox_b = register_sink(network, "b")
     inbox_c = register_sink(network, "c")
-    network.broadcast("a", ("b", "c"), lambda: RawMessage(10))  # tuple, not list
+    network.multicast("a", ("b", "c"), RawMessage(10))  # tuple, not list
     sim.run()
     assert len(inbox_b) == len(inbox_c) == 1
 
 
-def test_broadcast_unknown_source_rejected_before_any_traffic(sim):
+def test_multicast_unknown_source_and_self_send_rejected_before_any_traffic(sim):
     network = make_network(sim)
+    register_sink(network, "a")
     register_sink(network, "b")
-    built = []
-
-    def factory():
-        built.append(1)
-        return RawMessage(10)
-
     with pytest.raises(ValueError):
-        network.broadcast("ghost", ["b"], factory)
-    assert built == []  # no copy constructed, no traffic recorded
+        network.multicast("ghost", ["b"], RawMessage(10))
+    with pytest.raises(ValueError):
+        network.multicast("a", ["b", "a"], RawMessage(10))
     assert network.monitor.totals.messages == 0
+    assert network.dropped_messages == 0
+    assert sim.pending_events == 0
+
+
+def test_multicast_matches_per_copy_send_loop_exactly(sim):
+    """The equivalence contract on a plain fanout: same delivery times,
+    same delivery order, same monitor accounting as a send loop."""
+    from repro.simulation.engine import Simulator
+
+    sim_b = Simulator()
+    multicast_net = make_network(sim, latency=0.010, overhead=256)
+    loop_net = make_network(sim_b, latency=0.010, overhead=256)
+    deliveries = {"multicast": [], "loop": []}
+    for label, network, simulator in (
+        ("multicast", multicast_net, sim),
+        ("loop", loop_net, sim_b),
+    ):
+        register_sink(network, "a")
+        for name in ("b", "c", "d"):
+            network.register(
+                name,
+                lambda src, msg, n=name, lab=label, s=simulator: deliveries[lab].append(
+                    (s.now, n)
+                ),
+            )
+    multicast_net.multicast("a", ["b", "c", "d"], RawMessage(500))
+    for dst in ("b", "c", "d"):
+        loop_net.send("a", dst, RawMessage(500))
+    sim.run(), sim_b.run()
+    assert deliveries["multicast"] == deliveries["loop"]
+    for node in ("a", "b", "c", "d"):
+        assert (
+            multicast_net.monitor.node_totals(node).by_kind_bytes
+            == loop_net.monitor.node_totals(node).by_kind_bytes
+        )
+
+
+def test_multicast_groups_tied_deliveries_into_one_event(sim):
+    """Zero-size copies over constant latency arrive at identical times;
+    the whole fanout must coalesce into a single slot-delivery event."""
+    network = make_network(sim, latency=0.005, queue_min=1_000)
+    register_sink(network, "a")
+    inboxes = {name: register_sink(network, name) for name in ("b", "c", "d")}
+    network.multicast("a", ["b", "c", "d"], RawMessage(0))
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.events_executed == 1
+    assert all(len(inbox) == 1 for inbox in inboxes.values())
+
+
+def test_multicast_large_copies_take_downlink_queue_per_destination(sim):
+    """Above the queue threshold every copy pays its own receiver downlink,
+    exactly like per-copy sends (send_aggregate deliberately does not)."""
+    network = make_network(sim, bandwidth=1_000_000.0, latency=0.0, queue_min=5_000)
+    register_sink(network, "a")
+    times = {}
+    for name in ("b", "c"):
+        network.register(name, lambda src, msg, n=name: times.setdefault(n, sim.now))
+    network.multicast("a", ["b", "c"], RawMessage(10_000))
+    sim.run()
+    # Copy 1: 10 ms uplink + 10 ms downlink; copy 2 queues behind copy 1's
+    # uplink (20 ms) then pays its own downlink (10 ms).
+    assert times["b"] == pytest.approx(0.020)
+    assert times["c"] == pytest.approx(0.030)
+
+
+def test_multicast_wrapped_send_observes_fanout(sim):
+    """Instrumentation contract: wrapping ``send`` by assignment must see
+    every multicast copy (integration tests rely on this)."""
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_b = register_sink(network, "b")
+    inbox_c = register_sink(network, "c")
+    observed = []
+    original_send = network.send
+
+    def wrapped(src, dst, message):
+        observed.append((src, dst))
+        original_send(src, dst, message)
+
+    network.send = wrapped
+    network.multicast("a", ["b", "c"], RawMessage(10))
+    sim.run()
+    assert observed == [("a", "b"), ("a", "c")]
+    assert len(inbox_b) == len(inbox_c) == 1
+
+
+def test_multicast_empty_and_single_destination(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox = register_sink(network, "b")
+    network.multicast("a", [], RawMessage(10))
+    assert sim.pending_events == 0
+    network.multicast("a", ["b"], RawMessage(10))
+    sim.run()
+    assert len(inbox) == 1
+
+
+def test_multicast_drops_disconnected_destination_only(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_b = register_sink(network, "b")
+    inbox_c = register_sink(network, "c")
+    network.set_disconnected("b", True)
+    network.multicast("a", ["b", "c"], RawMessage(50))
+    sim.run()
+    assert inbox_b == [] and len(inbox_c) == 1
+    assert network.dropped_messages == 1
+    assert network.monitor.node_totals("a").by_kind_messages == {"tx:RawMessage": 1}
+
+
+def test_multicast_from_disconnected_source_drops_everything(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_b = register_sink(network, "b")
+    inbox_c = register_sink(network, "c")
+    network.set_disconnected("a", True)
+    network.multicast("a", ["b", "c"], RawMessage(50))
+    sim.run()
+    assert inbox_b == [] and inbox_c == []
+    assert network.dropped_messages == 2
+    assert network.monitor.nodes() == []
+
+
+def test_multicast_disconnect_mid_flight_drops_at_delivery(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_b = register_sink(network, "b")
+    inbox_c = register_sink(network, "c")
+    network.multicast("a", ["b", "c"], RawMessage(50))
+    network.set_disconnected("b", True)
+    sim.run()
+    assert inbox_b == [] and len(inbox_c) == 1
+    assert network.dropped_messages == 1
+
+
+def test_multicast_applies_drop_filter_per_copy(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_b = register_sink(network, "b")
+    inbox_c = register_sink(network, "c")
+    network.set_drop_filter(lambda src, dst, message: dst == "b")
+    network.multicast("a", ["b", "c"], RawMessage(50))
+    sim.run()
+    assert inbox_b == [] and len(inbox_c) == 1
+    assert network.dropped_messages == 1
+    # Only the surviving copy was recorded, exactly like send().
+    assert network.monitor.node_totals("a").by_kind_messages == {"tx:RawMessage": 1}
+
+
+def test_multicast_handler_disconnecting_later_group_member_drops_it(sim):
+    """Regression: within a tie-grouped delivery event, a handler that
+    disconnects a later recipient must cause that copy to drop — exactly
+    what the per-copy send loop's separate delivery events would do."""
+    network = make_network(sim, latency=0.005, queue_min=1_000)
+    register_sink(network, "a")
+    inbox_c = register_sink(network, "c")
+    network.register("b", lambda src, msg: network.set_disconnected("c", True))
+    network.multicast("a", ["b", "c"], RawMessage(0))  # size 0: exact tie, one event
+    assert sim.pending_events == 1
+    sim.run()
+    assert inbox_c == []
+    assert network.dropped_messages == 1
+
+
+def test_send_aggregate_handler_disconnecting_later_recipient_drops_it(sim):
+    network = make_network(sim)
+    register_sink(network, "a")
+    inbox_c = register_sink(network, "c")
+    network.register("b", lambda src, msg: network.set_disconnected("c", True))
+    network.send_aggregate("a", ["b", "c"], RawMessage(50))
+    sim.run()
+    assert inbox_c == []
+    assert network.dropped_messages == 1
+
+
+def test_multicast_drop_filter_that_disconnects_source_mid_fanout(sim):
+    """Regression: a drop filter with side effects (fault injection
+    disconnecting the source on first drop) must stop the rest of the
+    fanout exactly as it would stop a per-copy send loop — no copy after
+    the disconnect may be recorded or delivered."""
+    network = make_network(sim)
+    register_sink(network, "a")
+    inboxes = {name: register_sink(network, name) for name in ("b", "c", "d")}
+
+    def drop_and_kill(src, dst, message):
+        if dst == "c":
+            network.set_disconnected("a", True)
+            return True
+        return False
+
+    network.set_drop_filter(drop_and_kill)
+    network.multicast("a", ["b", "c", "d"], RawMessage(50))
+    sim.run()
+    assert len(inboxes["b"]) == 1  # sent before the fault
+    assert inboxes["c"] == [] and inboxes["d"] == []
+    assert network.dropped_messages == 2  # filtered copy + disconnected-source copy
+    assert network.monitor.node_totals("a").by_kind_messages == {"tx:RawMessage": 1}
 
 
 # ----- aggregated sends (batched background traffic) -------------------------
@@ -489,3 +686,48 @@ def test_send_aggregate_self_send_rejected_before_any_state_change(sim):
         network.send_aggregate("a", ["b", "a"], RawMessage(10))
     assert network.dropped_messages == 0
     assert network.monitor.nodes() == []
+
+
+def test_send_aggregate_drop_filter_that_disconnects_source_mid_fanout(sim):
+    """Regression for partial-drop fanouts: when the drop filter's side
+    effect disconnects the source mid-fanout, the copies after the fault
+    must drop through the disconnect rule (not reach the shared event),
+    keeping monitor accounting and drop counters exactly in step with a
+    per-copy send loop."""
+    network = make_network(sim)
+    register_sink(network, "a")
+    inboxes = {name: register_sink(network, name) for name in ("b", "c", "d")}
+
+    def drop_and_kill(src, dst, message):
+        if dst == "c":
+            network.set_disconnected("a", True)
+            return True
+        return False
+
+    network.set_drop_filter(drop_and_kill)
+    network.send_aggregate("a", ["b", "c", "d"], RawMessage(50))
+    sim.run()
+    assert len(inboxes["b"]) == 1  # accepted before the fault
+    assert inboxes["c"] == [] and inboxes["d"] == []
+    # One filtered copy plus one disconnected-source copy.
+    assert network.dropped_messages == 2
+    assert network.monitor.node_totals("a").by_kind_messages == {"tx:RawMessage": 1}
+
+
+def test_send_aggregate_drop_filter_swapping_itself_mid_fanout(sim):
+    """The filter is re-read per copy: a filter that uninstalls itself
+    after the first drop must stop affecting the rest of the fanout."""
+    network = make_network(sim)
+    register_sink(network, "a")
+    inboxes = {name: register_sink(network, name) for name in ("b", "c", "d")}
+
+    def drop_once(src, dst, message):
+        network.set_drop_filter(None)
+        return True
+
+    network.set_drop_filter(drop_once)
+    network.send_aggregate("a", ["b", "c", "d"], RawMessage(50))
+    sim.run()
+    assert inboxes["b"] == []
+    assert len(inboxes["c"]) == 1 and len(inboxes["d"]) == 1
+    assert network.dropped_messages == 1
