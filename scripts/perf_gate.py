@@ -63,6 +63,7 @@ from repro.perf import (  # noqa: E402 (path bootstrap above)
     compare_bench,
     run_core_benchmark,
     run_recovery_benchmark,
+    run_sweep_benchmark,
     update_golden,
     write_bench_json,
 )
@@ -192,6 +193,16 @@ def main(argv=None) -> int:
             return 1
         print(f"golden metrics updated ({len(golden)} scenarios): "
               "src/repro/perf/golden_metrics.json")
+        # Campaign throughput rides along in the refreshed baseline. The
+        # parallel speedup is machine-dependent, so it is recorded for the
+        # trajectory but never gated.
+        sweep_result = run_sweep_benchmark()
+        print(
+            f"sweep [{sweep_result.scenario}] {sweep_result.seeds} seeds: "
+            f"jobs=1 {sweep_result.wall_jobs1_s:.2f}s, "
+            f"jobs={sweep_result.jobs} {sweep_result.wall_jobsN_s:.2f}s "
+            f"({sweep_result.parallel_speedup:.2f}x, merged reports identical)"
+        )
         baseline_eps = None
         if os.path.exists(args.baseline):
             with open(args.baseline, encoding="utf-8") as handle:
@@ -203,6 +214,7 @@ def main(argv=None) -> int:
                 int(n): eps for n, eps in baseline_eps.items()
             },
             recovery_results=recovery_results,
+            sweep_result=sweep_result,
         )
         print(f"baseline updated: {args.baseline}")
         return 0

@@ -37,6 +37,13 @@ from repro.gossip import (
     OriginalGossip,
     OriginalGossipConfig,
 )
+from repro.scenarios import (
+    ScenarioSpec,
+    SweepRunner,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 
 __version__ = "1.0.0"
 
@@ -48,12 +55,17 @@ __all__ = [
     "EnhancedGossipConfig",
     "OriginalGossip",
     "OriginalGossipConfig",
+    "ScenarioSpec",
+    "SweepRunner",
     "__version__",
     "build_network",
     "carrying_capacity",
+    "get_scenario",
     "imperfect_dissemination_probability",
     "infect_and_die_distribution",
     "run_conflict_experiment",
     "run_dissemination",
+    "run_scenario",
+    "scenario_names",
     "ttl_for_target",
 ]

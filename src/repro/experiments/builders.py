@@ -9,6 +9,7 @@ point.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
@@ -128,6 +129,8 @@ def build_network(
     background: Optional[BackgroundTrafficConfig] = None,
     policy: Optional[EndorsementPolicy] = None,
     timer_wheel: bool = True,
+    org_regions: Optional[Dict[str, str]] = None,
+    orderer_region: Optional[str] = None,
 ) -> FabricNetwork:
     """Build the deployment of the paper's §V-A (defaults: one org).
 
@@ -141,11 +144,48 @@ def build_network(
         timer_wheel: batch recurring timers into shared wheel slots (the
             default); False forces one heap event per timer tick — kept so
             the perf harness can measure the event-count reduction.
+        org_regions: organization→region placement for multi-datacenter
+            topologies. Every peer inherits its organization's region; the
+            resulting node→region map is stored on the network config and
+            assigned to region-aware latency models (``assign_regions``)
+            before any sampler is bound.
+        orderer_region: region of the ordering service; defaults to the
+            first placed region (sorted) when ``org_regions`` is given.
     """
     if n_peers < 2:
         raise ValueError("need at least 2 peers")
     if organizations < 1 or organizations > n_peers:
         raise ValueError("invalid organization count")
+    org_members: Dict[str, List[str]] = {}
+    for index in range(n_peers):
+        org = f"org{index % organizations}"
+        org_members.setdefault(org, []).append(f"peer-{index}")
+    leaders = {org: members[0] for org, members in org_members.items()}
+
+    if org_regions is not None:
+        missing = sorted(set(org_members) - set(org_regions))
+        if missing:
+            raise ValueError(f"organizations without a region placement: {missing}")
+        region_of: Dict[str, str] = {}
+        for org, members in org_members.items():
+            region = org_regions[org]
+            for name in members:
+                region_of[name] = region
+        region_of["orderer"] = orderer_region or sorted(set(org_regions.values()))[0]
+        # The caller's config object is never mutated: the placement lands
+        # on a shallow copy (the latency model is shared — fresh builds
+        # should pass a fresh model, as the scenario runner does).
+        base_config = network_config or NetworkConfig()
+        merged = dict(base_config.regions or {})
+        merged.update(region_of)
+        network_config = dataclasses.replace(base_config, regions=merged)
+        # Region-aware models receive the placement before the Network
+        # binds its samplers (the bound closures resolve pairs lazily, but
+        # assigning first keeps the model fully initialized up front).
+        assign = getattr(network_config.latency_model, "assign_regions", None)
+        if assign is not None:
+            assign(region_of)
+
     sim = Simulator(use_timer_wheel=timer_wheel)
     streams = RandomStreams(seed)
     network = Network(sim, streams, network_config)
@@ -153,11 +193,6 @@ def build_network(
     tracker = DisseminationTracker()
     conflicts = ConflictTracker()
 
-    org_members: Dict[str, List[str]] = {}
-    for index in range(n_peers):
-        org = f"org{index % organizations}"
-        org_members.setdefault(org, []).append(f"peer-{index}")
-    leaders = {org: members[0] for org, members in org_members.items()}
     views = build_views(org_members, leaders)
 
     factory = gossip_factory(gossip)

@@ -1,15 +1,18 @@
 """Command-line interface to the experiment harness.
 
-Usage (after ``pip install -e .``)::
+Usage (``repro-experiments`` after ``pip install -e .``, or
+``python -m repro.experiments.cli``)::
 
-    python -m repro.experiments.cli list
-    python -m repro.experiments.cli figure fig7 [--full] [--seed 3]
-    python -m repro.experiments.cli table2 [--full] [--repetitions 5]
-    python -m repro.experiments.cli analysis
-    python -m repro.experiments.cli scaling --sizes 25 50 100
+    repro-experiments list
+    repro-experiments figure fig7 [--full] [--seed 3]
+    repro-experiments table2 [--full] [--repetitions 5]
+    repro-experiments analysis
+    repro-experiments scaling --sizes 25 50 100
+    repro-experiments sweep wan-3-region --seeds 8 --jobs 4 [--json]
 
-Each command prints the same rows/series the paper reports for the
-corresponding figure or table.
+``figure``/``table2``/... print the same rows/series the paper reports;
+``sweep`` fans a registered scenario over a seed matrix in parallel
+worker processes (the merged report is byte-identical for any --jobs).
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.scaling import render_scaling_study, run_scaling_study
 from repro.experiments.tables import render_table2, run_table2
+from repro.scenarios import SweepRunner, iter_scenarios, scenario_names
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -33,6 +37,31 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("bandwidth figures:", ", ".join(BANDWIDTH_FIGURES))
     print("tables           : table2")
     print("other            : analysis, scaling")
+    print("scenarios        :")
+    for spec in iter_scenarios():
+        print(f"  {spec.name:<28} {spec.description}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.scenario not in scenario_names():
+        print(
+            f"unknown scenario {args.scenario!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    seeds = list(range(args.base_seed, args.base_seed + args.seeds))
+    report = SweepRunner(jobs=args.jobs).run(args.scenario, seeds=seeds, full=args.full)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
     return 0
 
 
@@ -145,6 +174,19 @@ def build_parser() -> argparse.ArgumentParser:
     streamchain.add_argument("--transactions", type=int, default=150)
     streamchain.add_argument("--seed", type=int, default=1)
     streamchain.set_defaults(func=_cmd_streamchain)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a registered scenario over a seed matrix in parallel"
+    )
+    sweep.add_argument("scenario", help="registered scenario name (see 'list')")
+    sweep.add_argument("--seeds", type=int, default=4,
+                       help="number of seeds (base-seed .. base-seed+N-1)")
+    sweep.add_argument("--base-seed", type=int, default=1)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (merged output is identical for any value)")
+    sweep.add_argument("--full", action="store_true", help="paper-scale workload")
+    sweep.add_argument("--json", action="store_true", help="print the merged JSON report")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -12,7 +12,7 @@ bandwidth floor is visible (Fig. 6's 1500-2000 s window).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments.builders import FabricNetwork, GossipChoice, build_network
 from repro.experiments.workloads import synthetic_block_transactions
@@ -46,6 +46,10 @@ class DisseminationConfig:
     background: Optional[BackgroundTrafficConfig] = None
     network: Optional[NetworkConfig] = None
     per_tx_validation_time: float = 0.004  # keeps 50-tx validation < period
+    # Multi-organization / multi-region deployments (scenario subsystem).
+    organizations: int = 1
+    org_regions: Optional[Dict[str, str]] = None
+    orderer_region: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.blocks < 1 or self.n_peers < 2:
@@ -162,19 +166,32 @@ class DisseminationResult:
         return sum(peer.blocks_received_via.get("pull", 0) for peer in self.net.peers.values())
 
 
-def run_dissemination(config: DisseminationConfig) -> DisseminationResult:
-    """Execute one dissemination experiment end to end."""
+def run_dissemination(
+    config: DisseminationConfig,
+    prepare: Optional[Callable[[FabricNetwork], None]] = None,
+) -> DisseminationResult:
+    """Execute one dissemination experiment end to end.
+
+    ``prepare(net)``, when given, runs after the network is built and
+    before any timer is armed — the scenario subsystem uses it to compile
+    and arm declarative fault schedules against the fresh deployment.
+    """
     net = build_network(
         n_peers=config.n_peers,
         gossip=config.gossip,
         seed=config.seed,
+        organizations=config.organizations,
         network_config=config.network,
         peer_config=PeerConfig(
             per_tx_validation_time=config.per_tx_validation_time,
             validation_mode=ValidationMode.DELAY_ONLY,
         ),
         background=config.background,
+        org_regions=config.org_regions,
+        orderer_region=config.orderer_region,
     )
+    if prepare is not None:
+        prepare(net)
     net.start()
 
     transactions = synthetic_block_transactions(config.tx_per_block, config.tx_size)

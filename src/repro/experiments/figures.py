@@ -1,13 +1,17 @@
-"""Canonical configurations and series extraction for every figure.
+"""Figure extraction over the declarative scenario registry.
 
-Each paper figure maps to a configuration factory plus an extraction
-routine that yields exactly the plotted series (probability-plot points for
-the latency CDFs, MB/s-per-10s series for the bandwidth plots). Benchmarks
-print these; tests assert their shapes.
+Each paper figure maps to a registered scenario (see
+:mod:`repro.scenarios.registry`, the single source of truth for what each
+figure runs) plus an extraction routine that yields exactly the plotted
+series (probability-plot points for the latency CDFs, MB/s-per-10s series
+for the bandwidth plots). Benchmarks print these; tests assert their
+shapes. The ``config_*`` factories are kept as the public API and resolve
+their scenario through the registry.
 
-Scale: ``full=True`` reproduces the paper's 100 peers / 1,000 blocks /
-~2,000 s horizon; the default is a scaled run (same peers, same cadence,
-fewer blocks) whose per-second behaviour is identical.
+Scale: ``full=True`` selects the scenario's paper-scale workload (100
+peers / 1,000 blocks / ~2,000 s horizon); the default is a scaled run
+(same peers, same cadence, fewer blocks) whose per-second behaviour is
+identical.
 """
 
 from __future__ import annotations
@@ -20,78 +24,50 @@ from repro.experiments.dissemination import (
     DisseminationResult,
     run_dissemination,
 )
-from repro.gossip.config import (
-    BackgroundTrafficConfig,
-    EnhancedGossipConfig,
-    OriginalGossipConfig,
-)
 from repro.metrics.probability_plot import ProbabilityPoint, logistic_probability_points
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import dissemination_config as _scenario_config
 
 
-def _base_kwargs(full: bool, seed: int) -> dict:
-    if full:
-        return dict(seed=seed, idle_tail=500.0)
-    return dict(seed=seed, blocks=60, idle_tail=60.0)
+def _figure_factory(scenario_name: str, doc: str) -> Callable[..., DisseminationConfig]:
+    """A ``config_*`` factory resolving ``scenario_name`` in the registry."""
+
+    def factory(
+        full: bool = False, seed: int = 1, with_background: bool = False
+    ) -> DisseminationConfig:
+        return _scenario_config(
+            get_scenario(scenario_name),
+            seed=seed,
+            full=full,
+            with_background=with_background,
+        )
+
+    factory.__name__ = f"config_{scenario_name.replace('-', '_')}"
+    factory.__doc__ = doc
+    factory.scenario_name = scenario_name
+    return factory
 
 
-def _with_background() -> BackgroundTrafficConfig:
-    return BackgroundTrafficConfig(enabled=True)
-
-
-def config_original(full: bool = False, seed: int = 1, with_background: bool = False) -> DisseminationConfig:
-    """Figs. 4/5/6: Fabric defaults (fout=3, pull 4 s, recovery 10 s)."""
-    return DisseminationConfig(
-        gossip=OriginalGossipConfig(),
-        background=_with_background() if with_background else None,
-        **_base_kwargs(full, seed),
-    )
-
-
-def config_enhanced_f4(full: bool = False, seed: int = 1, with_background: bool = False) -> DisseminationConfig:
-    """Figs. 7/8/9: enhanced, fout=4, TTL=9, TTLdirect=2, leader fanout 1."""
-    return DisseminationConfig(
-        gossip=EnhancedGossipConfig.paper_f4(),
-        background=_with_background() if with_background else None,
-        **_base_kwargs(full, seed),
-    )
-
-
-def config_enhanced_f2(full: bool = False, seed: int = 1, with_background: bool = False) -> DisseminationConfig:
-    """Figs. 12/13/14: enhanced, fout=2, TTL=19, TTLdirect=3."""
-    return DisseminationConfig(
-        gossip=EnhancedGossipConfig.paper_f2(),
-        background=_with_background() if with_background else None,
-        **_base_kwargs(full, seed),
-    )
-
-
-def config_leader_fanout_ablation(full: bool = False, seed: int = 1, with_background: bool = False) -> DisseminationConfig:
-    """Fig. 10: enhanced f4 but the leader pushes with fanout = fout = 4."""
-    gossip = EnhancedGossipConfig.paper_f4()
-    gossip.leader_fanout = gossip.fout
-    return DisseminationConfig(
-        gossip=gossip,
-        background=_with_background() if with_background else None,
-        **_base_kwargs(full, seed),
-    )
-
-
-def config_no_digest_ablation(full: bool = False, seed: int = 1, with_background: bool = False) -> DisseminationConfig:
-    """Fig. 11: enhanced f4 pushing full blocks at every hop (no digests).
-
-    The paper ran this only long enough to demonstrate the ~8 MB/s
-    blow-up; the full-scale variant here also uses a shortened horizon.
-    """
-    gossip = EnhancedGossipConfig.paper_f4()
-    gossip.use_digests = False
-    kwargs = _base_kwargs(full, seed)
-    kwargs["blocks"] = min(100, kwargs.get("blocks", 100) if not full else 100)
-    kwargs["idle_tail"] = 20.0
-    return DisseminationConfig(
-        gossip=gossip,
-        background=_with_background() if with_background else None,
-        **kwargs,
-    )
+config_original = _figure_factory(
+    "fig-original",
+    "Figs. 4/5/6: Fabric defaults (fout=3, pull 4 s, recovery 10 s).",
+)
+config_enhanced_f4 = _figure_factory(
+    "fig-enhanced-f4",
+    "Figs. 7/8/9: enhanced, fout=4, TTL=9, TTLdirect=2, leader fanout 1.",
+)
+config_enhanced_f2 = _figure_factory(
+    "fig-enhanced-f2",
+    "Figs. 12/13/14: enhanced, fout=2, TTL=19, TTLdirect=3.",
+)
+config_leader_fanout_ablation = _figure_factory(
+    "fig-leader-fanout-ablation",
+    "Fig. 10: enhanced f4 but the leader pushes with fanout = fout = 4.",
+)
+config_no_digest_ablation = _figure_factory(
+    "fig-no-digest-ablation",
+    "Fig. 11: enhanced f4 pushing full blocks at every hop (no digests).",
+)
 
 
 @dataclass

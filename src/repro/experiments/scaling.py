@@ -10,14 +10,17 @@ per block (should stay ~n + o(n)) and the analytic pe alongside.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from functools import partial
 from typing import List, Sequence
 
 from repro.analysis.pe import imperfect_dissemination_probability, ttl_for_target
-from repro.experiments.dissemination import DisseminationConfig, run_dissemination
+from repro.experiments.dissemination import run_dissemination
 from repro.gossip.config import EnhancedGossipConfig
 from repro.metrics.probability_plot import tail_latency
 from repro.metrics.report import format_table
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import dissemination_config
 
 
 @dataclass
@@ -46,19 +49,23 @@ def run_scaling_study(
     blocks: int = 10,
     seed: int = 1,
 ) -> List[ScalingPoint]:
-    """Sweep organization sizes with per-size TTL from the analysis."""
+    """Sweep organization sizes with per-size TTL from the analysis.
+
+    Each point is a derived variant of the registered ``scaling-template``
+    scenario: same workload shape, the size and table-driven TTL swapped
+    in per point.
+    """
+    template = get_scenario("scaling-template")
     points = []
     for n in sizes:
         ttl = ttl_for_target(n, fout, pe_target)
-        gossip = EnhancedGossipConfig(fout=fout, ttl=ttl, ttl_direct=2)
-        config = DisseminationConfig(
-            gossip=gossip,
+        spec = template.with_overrides(
+            name=f"scaling-n{n}",
             n_peers=n,
-            blocks=blocks,
-            block_period=1.5,
-            seed=seed,
+            gossip=partial(EnhancedGossipConfig, fout=fout, ttl=ttl, ttl_direct=2),
+            workload=replace(template.workload, blocks=blocks),
         )
-        result = run_dissemination(config)
+        result = run_dissemination(dissemination_config(spec, seed=seed))
         latencies = result.tracker.all_latencies()
         counts = result.bandwidth_report().message_counts()
         points.append(

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.experiments.conflicts import ConflictExperimentConfig, run_conflict_experiment
-from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
 from repro.metrics.report import format_table
+from repro.scenarios.registry import get_scenario
 
 PAPER_BLOCK_PERIODS = (2.0, 1.5, 1.0, 0.75)
 
@@ -49,6 +49,10 @@ def run_table2(
     3 to keep the benchmark run short. Pass ``repetitions=5, full=True``
     for the paper's exact methodology.
     """
+    # The two gossip recipes come from the same registered scenarios the
+    # figures run — Table II compares exactly the Figs. 4-9 modules.
+    original_gossip = get_scenario("fig-original").gossip
+    enhanced_gossip = get_scenario("fig-enhanced-f4").gossip
     rows = []
     for period in block_periods:
         originals = []
@@ -58,8 +62,8 @@ def run_table2(
         for repetition in range(repetitions):
             seed = base_seed + repetition
             for gossip, bucket in (
-                (OriginalGossipConfig(), originals),
-                (EnhancedGossipConfig.paper_f4(), enhanceds),
+                (original_gossip(), originals),
+                (enhanced_gossip(), enhanceds),
             ):
                 if full:
                     config = ConflictExperimentConfig(gossip=gossip, block_period=period, seed=seed)

@@ -1,22 +1,42 @@
-"""Fault injection: crashes, silent (adversarial) peers, packet loss.
+"""Fault injection: crashes, partitions, degraded links, adversaries.
 
 The paper keeps adversarial peers for future work (§VII) but relies on the
 recovery component for crash/outage resilience (§III-A). This package
-exercises both: scheduled crash/recover of peers (recovery catch-up), peers
-that silently refuse to forward gossip (the §VII adversarial model), and
-random packet loss.
+exercises both: scheduled crash/recover of peers (recovery catch-up),
+network partitions and lossy WAN links (the scenario subsystem's
+declarative fault events compile onto these, see
+:mod:`repro.faults.schedule`), peers that silently refuse to forward
+gossip (the §VII adversarial model), and random packet loss.
 """
 
 from repro.faults.injectors import (
     CrashSchedule,
+    LinkDegradeFault,
     PacketLossFault,
+    PartitionFault,
     SilentPeerFault,
     TeasingPeerFault,
 )
+from repro.faults.schedule import (
+    CrashEvent,
+    DegradeEvent,
+    FaultEvent,
+    FaultSchedule,
+    PartitionEvent,
+    compile_fault_schedule,
+)
 
 __all__ = [
+    "CrashEvent",
     "CrashSchedule",
+    "DegradeEvent",
+    "FaultEvent",
+    "FaultSchedule",
+    "LinkDegradeFault",
     "PacketLossFault",
+    "PartitionEvent",
+    "PartitionFault",
     "SilentPeerFault",
     "TeasingPeerFault",
+    "compile_fault_schedule",
 ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.gossip.messages import BlockPush, PushDigest
 from repro.net.message import Message
@@ -108,6 +108,100 @@ class TeasingPeerFault:
 
     def _predicate(self, src: str, dst: str, message: Message) -> bool:
         if src in self.teasing and isinstance(message, BlockPush):
+            self.dropped += 1
+            return True
+        return False
+
+
+class PartitionFault:
+    """A network partition: traffic crossing island boundaries is dropped.
+
+    ``islands`` are disjoint groups of node names; every node not listed
+    in any island forms the implicit *mainland* group. While active, a
+    message is dropped iff its endpoints sit in different groups — the
+    drop is symmetric by construction (group inequality is), traffic
+    within a group (including the mainland) is untouched, and
+    :meth:`heal` restores full connectivity for every message sent after
+    the heal instant. In-flight messages that already passed the drop
+    filter are delivered normally; messages sent during the partition are
+    gone for good (TCP connections to an unreachable host eventually
+    fail), which is exactly what the recovery component exists to repair.
+    """
+
+    _MAINLAND = -1
+
+    def __init__(
+        self,
+        network: Network,
+        islands: Sequence[Iterable[str]],
+        active: bool = True,
+    ) -> None:
+        self._group_of = {}
+        for index, island in enumerate(islands):
+            for name in island:
+                if name in self._group_of:
+                    raise ValueError(f"node {name!r} listed in two partition islands")
+                self._group_of[name] = index
+        self.active = active
+        self.dropped = 0
+        _drop_filter_for(network).add(self._predicate)
+
+    def activate(self) -> None:
+        self.active = True
+
+    def heal(self) -> None:
+        self.active = False
+
+    def _predicate(self, src: str, dst: str, message: Message) -> bool:
+        if not self.active:
+            return False
+        group_of = self._group_of
+        if group_of.get(src, self._MAINLAND) != group_of.get(dst, self._MAINLAND):
+            self.dropped += 1
+            return True
+        return False
+
+
+class LinkDegradeFault:
+    """Random loss on a selected set of links while active.
+
+    Models flaky long-haul links: every message whose ``(src, dst)`` pair
+    passes ``link_filter`` (default: all links) is dropped with
+    probability ``loss_rate`` while the fault is active. The RNG should
+    be a dedicated named stream (``streams.stream("faults:degrade")``)
+    so the loss draws never perturb any other component's sequence.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        loss_rate: float,
+        rng: random.Random,
+        link_filter: Optional[Callable[[str, str], bool]] = None,
+        active: bool = True,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {loss_rate}")
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self._link_filter = link_filter
+        self.active = active
+        self.dropped = 0
+        _drop_filter_for(network).add(self._predicate)
+
+    def activate(self) -> None:
+        self.active = True
+
+    def restore(self) -> None:
+        self.active = False
+
+    def _predicate(self, src: str, dst: str, message: Message) -> bool:
+        if not self.active or self.loss_rate <= 0.0:
+            return False
+        link_filter = self._link_filter
+        if link_filter is not None and not link_filter(src, dst):
+            return False
+        if self._rng.random() < self.loss_rate:
             self.dropped += 1
             return True
         return False

@@ -1,0 +1,217 @@
+"""Declarative fault schedules, compiled onto a built deployment.
+
+A scenario (see :mod:`repro.scenarios`) declares *what* goes wrong and
+*when* — crashes, partitions, degraded links — as frozen event records;
+this module turns those records into concrete injectors and simulator
+timer arms against a freshly built :class:`~repro.experiments.builders.
+FabricNetwork`. Declarations are pure data (hashable, picklable, no
+references to live objects), so they can sit inside frozen scenario specs
+and cross process boundaries in sweep workers.
+
+Name resolution happens at compile time:
+
+* crash events name peers explicitly (``peers``) or by a slice of the
+  sorted regular-peer list (``regular_slice`` — convenient for "crash
+  the last five peers" churn waves);
+* partition islands list *regions* (expanded to every node the network
+  placed there, see ``NetworkConfig.regions``) and/or peer names; nodes
+  in no island form the implicit mainland group;
+* degrade events select links by region: by default every inter-region
+  link, or just the pair named in ``between``. Nodes in ``protect``
+  (default: the orderer, whose atomic-broadcast connections are reliable
+  and flow-controlled in Fabric) are exempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.faults.injectors import CrashSchedule, LinkDegradeFault, PartitionFault
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash a set of peers at ``at``; optionally recover them later.
+
+    Exactly one of ``peers`` (explicit names) or ``regular_slice`` (a
+    ``(start, stop)`` slice over the sorted non-leader peer names) must
+    select at least one peer.
+    """
+
+    at: float
+    recover_at: Optional[float] = None
+    peers: Tuple[str, ...] = ()
+    regular_slice: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("crash time must be >= 0")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ValueError("recover_at must be after the crash time")
+        if bool(self.peers) == (self.regular_slice is not None):
+            raise ValueError("select peers via exactly one of peers/regular_slice")
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """Split the network into islands at ``at``; optionally heal later.
+
+    Island entries are region names (expanded via the network's node
+    placement) or peer names; unlisted nodes form the implicit mainland.
+    """
+
+    at: float
+    heal_at: Optional[float] = None
+    islands: Tuple[Tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("partition time must be >= 0")
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError("heal_at must be after the partition time")
+        if not self.islands:
+            raise ValueError("a partition needs at least one island")
+
+
+@dataclass(frozen=True)
+class DegradeEvent:
+    """Apply random loss to inter-region links at ``at``; restore later.
+
+    ``between`` narrows the loss to one region pair (order-insensitive);
+    ``None`` degrades every inter-region link. Links touching a node in
+    ``protect`` never drop.
+    """
+
+    at: float
+    restore_at: Optional[float] = None
+    loss_rate: float = 0.10
+    between: Optional[Tuple[str, str]] = None
+    protect: Tuple[str, ...] = ("orderer",)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("degrade time must be >= 0")
+        if self.restore_at is not None and self.restore_at <= self.at:
+            raise ValueError("restore_at must be after the degrade time")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {self.loss_rate}")
+
+
+FaultEvent = Union[CrashEvent, PartitionEvent, DegradeEvent]
+
+
+@dataclass
+class FaultSchedule:
+    """The compiled (armed) form of a scenario's fault events."""
+
+    crashes: List[Tuple[CrashEvent, List[str]]] = field(default_factory=list)
+    partitions: List[PartitionFault] = field(default_factory=list)
+    degrades: List[LinkDegradeFault] = field(default_factory=list)
+
+    @property
+    def dropped_messages(self) -> int:
+        """Messages eaten by the schedule's partition/degrade injectors."""
+        return sum(f.dropped for f in self.partitions) + sum(
+            f.dropped for f in self.degrades
+        )
+
+
+def _resolve_crash_peers(event: CrashEvent, net) -> List[str]:
+    if event.peers:
+        unknown = sorted(set(event.peers) - set(net.peers))
+        if unknown:
+            raise ValueError(f"crash event names unknown peers: {unknown}")
+        return list(event.peers)
+    start, stop = event.regular_slice  # type: ignore[misc]
+    selected = net.regular_peers()[start:stop]
+    if not selected:
+        raise ValueError(
+            f"regular_slice {event.regular_slice} selects no peers "
+            f"(deployment has {len(net.regular_peers())} regular peers)"
+        )
+    return selected
+
+
+def _resolve_islands(event: PartitionEvent, net) -> List[List[str]]:
+    regions = net.network.regions
+    by_region: Dict[str, List[str]] = {}
+    for name, region in regions.items():
+        by_region.setdefault(region, []).append(name)
+    islands: List[List[str]] = []
+    for island in event.islands:
+        members: List[str] = []
+        for entry in island:
+            if entry in by_region:
+                members.extend(sorted(by_region[entry]))
+            elif entry in net.peers or entry == "orderer":
+                members.append(entry)
+            else:
+                raise ValueError(
+                    f"partition island entry {entry!r} is neither a placed "
+                    f"region nor a known node"
+                )
+        islands.append(members)
+    return islands
+
+
+def _degrade_link_filter(event: DegradeEvent, net) -> Callable[[str, str], bool]:
+    region_of = net.network.regions
+    protected = set(event.protect)
+    between = frozenset(event.between) if event.between else None
+
+    def crosses(src: str, dst: str) -> bool:
+        if src in protected or dst in protected:
+            return False
+        src_region = region_of.get(src)
+        dst_region = region_of.get(dst)
+        if src_region is None or dst_region is None or src_region == dst_region:
+            return False
+        if between is not None and {src_region, dst_region} != between:
+            return False
+        return True
+
+    return crosses
+
+
+def compile_fault_schedule(events, net) -> FaultSchedule:
+    """Compile declarative ``events`` against ``net`` and arm the timers.
+
+    Crash/recover arms become one-shot simulator events per peer (the
+    cancellation-heavy part — a crash stops every periodic timer — rides
+    the timer wheel's O(1) cancellation via ``Peer.crash``). Partition
+    and degrade events install their injectors immediately (inactive) and
+    arm activation/heal flips, so a mid-run flip costs two scheduled
+    events regardless of deployment size.
+    """
+    schedule = FaultSchedule()
+    sim = net.sim
+    for event in events:
+        if isinstance(event, CrashEvent):
+            names = _resolve_crash_peers(event, net)
+            schedule.crashes.append((event, names))
+            for name in names:
+                CrashSchedule(
+                    net.peers[name], crash_at=event.at, recover_at=event.recover_at
+                ).arm(sim)
+        elif isinstance(event, PartitionEvent):
+            fault = PartitionFault(net.network, _resolve_islands(event, net), active=False)
+            schedule.partitions.append(fault)
+            sim.schedule_at(event.at, fault.activate)
+            if event.heal_at is not None:
+                sim.schedule_at(event.heal_at, fault.heal)
+        elif isinstance(event, DegradeEvent):
+            fault = LinkDegradeFault(
+                net.network,
+                event.loss_rate,
+                net.streams.stream("faults:degrade"),
+                link_filter=_degrade_link_filter(event, net),
+                active=False,
+            )
+            schedule.degrades.append(fault)
+            sim.schedule_at(event.at, fault.activate)
+            if event.restore_at is not None:
+                sim.schedule_at(event.restore_at, fault.restore)
+        else:
+            raise TypeError(f"unknown fault event type: {type(event).__name__}")
+    return schedule

@@ -11,6 +11,7 @@ from repro.net.latency import (
     ConstantLatency,
     LanLatency,
     LatencyModel,
+    TopologyLatency,
     UniformLatency,
     WanLatency,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "Message",
     "Network",
     "NetworkConfig",
+    "TopologyLatency",
     "TrafficMonitor",
     "TrafficTotals",
     "UniformLatency",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 
 class LatencyModel:
@@ -115,6 +115,120 @@ class WanLatency(LatencyModel):
         if src_site is not None and src_site == dst_site:
             return self.intra.sample(rng, src, dst)
         return self.inter.sample(rng, src, dst)
+
+
+class TopologyLatency(LatencyModel):
+    """Region-topology latency: per-(region, region) base delay plus an
+    optional lognormal jitter tail.
+
+    This is the WAN generalization of :class:`LanLatency`: every node is
+    placed in a *region* (a datacenter / cloud zone), and each ordered
+    region pair resolves to ``(base, jitter_median, jitter_sigma)``
+    parameters. Lookups are symmetric — ``(a, b)`` falls back to
+    ``(b, a)`` — and pairs without an entry (or nodes without a region)
+    use ``default``. Intra-region delay is expressed as the diagonal
+    ``(r, r)`` entries, so a matrix built from
+    :class:`repro.scenarios.RegionTopology` fully describes the topology.
+
+    The node→region assignment may be deferred: scenario declarations
+    carry only the region matrix, and :func:`repro.experiments.builders.
+    build_network` calls :meth:`assign_regions` once peer names exist —
+    necessarily *before* the :class:`~repro.net.network.Network` binds its
+    samplers.
+
+    RNG-order contract: :meth:`bind` (and the inherited :meth:`bind_batch`,
+    which delegates to it) draws via ``rng.lognormvariate`` exactly as
+    :meth:`sample` does, one draw per jittered copy in destination order,
+    so multicast fanouts reproduce a per-copy ``send`` loop bit-for-bit.
+
+    Args:
+        matrix: ``{(region, region): params}`` where params is a
+            ``(base, jitter_median, jitter_sigma)`` tuple (shorter tuples
+            and bare floats are padded with ``jitter_median=0`` /
+            ``jitter_sigma=0.8``).
+        default: parameters for unmatched pairs and unplaced nodes.
+        region_of: optional node→region map (usually assigned later).
+    """
+
+    def __init__(
+        self,
+        matrix: "dict",
+        default=0.048,
+        region_of: "Optional[dict]" = None,
+    ) -> None:
+        self._matrix = {
+            (src, dst): self._normalize(params) for (src, dst), params in matrix.items()
+        }
+        self._default = self._normalize(default)
+        self._region_of: dict = dict(region_of) if region_of else {}
+        # (src_node, dst_node) -> params memo; node pairs are bounded by
+        # n^2 and the per-message resolve is two dict probes after warmup.
+        self._pair_memo: dict = {}
+
+    @staticmethod
+    def _normalize(params):
+        """Return ``(base, mu_or_None, sigma)`` with mu precomputed."""
+        if isinstance(params, (int, float)):
+            params = (float(params),)
+        parts = tuple(params)
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(f"latency params must be (base[, jitter_median[, sigma]]), got {params!r}")
+        base = float(parts[0])
+        jitter_median = float(parts[1]) if len(parts) > 1 else 0.0
+        jitter_sigma = float(parts[2]) if len(parts) > 2 else 0.8
+        if base < 0 or jitter_median < 0 or jitter_sigma < 0:
+            raise ValueError("latency parameters must be >= 0")
+        mu = math.log(jitter_median) if jitter_median > 0 else None
+        return (base, mu, jitter_sigma)
+
+    def assign_regions(self, region_of: "dict") -> None:
+        """Place (or re-place) nodes into regions; clears the pair memo."""
+        self._region_of.update(region_of)
+        self._pair_memo.clear()
+
+    def region_of(self, node: str) -> "Optional[str]":
+        return self._region_of.get(node)
+
+    def _resolve(self, src: str, dst: str):
+        region_of = self._region_of
+        src_region = region_of.get(src)
+        dst_region = region_of.get(dst)
+        if src_region is None or dst_region is None:
+            params = self._default
+        else:
+            matrix = self._matrix
+            params = matrix.get((src_region, dst_region))
+            if params is None:
+                params = matrix.get((dst_region, src_region), self._default)
+        self._pair_memo[(src, dst)] = params
+        return params
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        params = self._pair_memo.get((src, dst))
+        if params is None:
+            params = self._resolve(src, dst)
+        base, mu, sigma = params
+        if mu is None:
+            return base
+        return base + rng.lognormvariate(mu, sigma)
+
+    def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
+        # Same draw sequence as sample() — rng.lognormvariate per jittered
+        # copy — with the memo/attribute lookups hoisted.
+        memo = self._pair_memo
+        resolve = self._resolve
+        lognormvariate = rng.lognormvariate
+
+        def sample(src: str, dst: str) -> float:
+            params = memo.get((src, dst))
+            if params is None:
+                params = resolve(src, dst)
+            base, mu, sigma = params
+            if mu is None:
+                return base
+            return base + lognormvariate(mu, sigma)
+
+        return sample
 
 
 class LanLatency(LatencyModel):

@@ -80,6 +80,10 @@ class NetworkConfig:
             messages pay their transfer time but skip the queue — their
             contribution to receiver contention is negligible and skipping
             it halves the event count.
+        regions: optional node→region placement (multi-datacenter
+            topologies). Region-aware latency models consult it; the fault
+            layer uses it to resolve region-level partition/degrade events.
+            ``build_network`` fills it from the organization placement.
     """
 
     bandwidth: float = float(GIGABIT_PER_SECOND_BYTES)
@@ -87,6 +91,7 @@ class NetworkConfig:
     latency_model: LatencyModel = field(default_factory=LanLatency)
     monitor_bin_width: float = 1.0
     downlink_queue_min_bytes: int = 25_000
+    regions: Optional[Dict[str, str]] = None
 
 
 class Network:
@@ -119,6 +124,7 @@ class Network:
         # flag dict keeps ``False`` tombstones forever).
         self._n_disconnected = 0
         self.monitor = TrafficMonitor(bin_width=self.config.monitor_bin_width)
+        self.regions: Dict[str, str] = dict(self.config.regions) if self.config.regions else {}
         self.dropped_messages = 0
         self._drop_filter: Optional[Callable[[str, str, Message], bool]] = None
         # Hot-path hoists: one attribute lookup at construction instead of
@@ -147,6 +153,10 @@ class Network:
 
     def unregister(self, name: str) -> None:
         self._handlers.pop(name, None)
+
+    def region_of(self, name: str) -> Optional[str]:
+        """The node's region in a multi-datacenter topology, if placed."""
+        return self.regions.get(name)
 
     def set_disconnected(self, name: str, disconnected: bool) -> None:
         """Simulate a node dropping off the network (crash / partition)."""

@@ -16,9 +16,11 @@ Two concerns live here:
 
 from repro.perf.profile import (
     CoreBenchResult,
+    SweepBenchResult,
     profile_core,
     run_core_benchmark,
     run_recovery_benchmark,
+    run_sweep_benchmark,
     write_bench_json,
 )
 from repro.perf.regression import (
@@ -38,6 +40,7 @@ from repro.perf.regression import (
 __all__ = [
     "CoreBenchResult",
     "EVENT_REDUCTION_FLOOR",
+    "SweepBenchResult",
     "GOLDEN_METRICS",
     "GOLDEN_PATH",
     "PR1_REFERENCE_METRICS",
@@ -50,6 +53,7 @@ __all__ = [
     "recovery_metric_snapshot",
     "run_core_benchmark",
     "run_recovery_benchmark",
+    "run_sweep_benchmark",
     "update_golden",
     "write_bench_json",
 ]

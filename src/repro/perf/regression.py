@@ -122,6 +122,9 @@ PR1_REFERENCE_METRICS: Dict[str, dict] = {
 # The recovery scenario likewise has no PR-1 counterpart: it pins the
 # multicast fast path's guarded (fault-active) branches — crash drops,
 # state-info fanouts to dead peers, catch-up batches after recovery.
+# The wan-3-region scenario pins the declarative-scenario stack end to
+# end: region placement, the TopologyLatency pair resolution and its
+# bind/bind_batch RNG-order contract, and the multi-organization build.
 _SCENARIOS = {
     "enhanced-n50-b6-seed1": lambda: metric_snapshot(
         EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 1),
@@ -132,7 +135,16 @@ _SCENARIOS = {
         EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 1,
         background=BackgroundTrafficConfig()),
     "recovery-crash-n50-b6-seed1": lambda: recovery_metric_snapshot(50, 6, 1),
+    "wan-3-region-seed1": lambda: _registered_scenario_snapshot("wan-3-region", 1),
 }
+
+
+def _registered_scenario_snapshot(name: str, seed: int) -> dict:
+    # Imported lazily: repro.scenarios sits above the experiment layer and
+    # this keeps `import repro.perf` cheap for the bench-only callers.
+    from repro.scenarios.runner import scenario_snapshot
+
+    return scenario_snapshot(name, seed=seed)
 
 
 def _load_golden(path: str = GOLDEN_PATH) -> Dict[str, dict]:

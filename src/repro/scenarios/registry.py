@@ -1,0 +1,201 @@
+"""Named scenario registry.
+
+Every scenario the repo can run end-to-end is registered here by name:
+the figure scenarios behind the paper's Figs. 4-14 (the experiment layer
+consumes these instead of hand-wiring configs), and the WAN/fault
+scenarios that go beyond the paper's single-datacenter testbed. New
+scenarios are plain declarations — build a :class:`ScenarioSpec` and call
+:func:`register` (see ``docs/scenarios.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.faults.schedule import CrashEvent, DegradeEvent, PartitionEvent
+from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
+from repro.scenarios.spec import LinkSpec, RegionTopology, ScenarioSpec, WorkloadSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Register ``spec`` under its name; refuses silent overwrites."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        )
+    return spec
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> Iterator[ScenarioSpec]:
+    for name in scenario_names():
+        yield _REGISTRY[name]
+
+
+# --------------------------------------------------------------------------
+# Gossip factories (module-level, so specs stay picklable).
+# --------------------------------------------------------------------------
+
+def _gossip_leader_fanout_ablation() -> EnhancedGossipConfig:
+    """Fig. 10 ablation: the leader pushes with fanout = fout."""
+    gossip = EnhancedGossipConfig.paper_f4()
+    gossip.leader_fanout = gossip.fout
+    return gossip
+
+
+def _gossip_no_digest_ablation() -> EnhancedGossipConfig:
+    """Fig. 11 ablation: full blocks at every hop (no digests)."""
+    gossip = EnhancedGossipConfig.paper_f4()
+    gossip.use_digests = False
+    return gossip
+
+
+# --------------------------------------------------------------------------
+# Figure scenarios: the paper's single-datacenter evaluation (§V-A).
+# The experiment layer (figures/tables/scaling) consumes these.
+# --------------------------------------------------------------------------
+
+_FIGURE_WORKLOAD = WorkloadSpec(blocks=60, idle_tail=60.0)
+_FIGURE_FULL_WORKLOAD = WorkloadSpec(blocks=1_000, idle_tail=500.0)
+
+register(ScenarioSpec(
+    name="fig-original",
+    description="Figs. 4/5/6: original Fabric gossip, defaults (fout=3, pull 4 s)",
+    gossip=OriginalGossipConfig,
+    workload=_FIGURE_WORKLOAD,
+    full_workload=_FIGURE_FULL_WORKLOAD,
+))
+
+register(ScenarioSpec(
+    name="fig-enhanced-f4",
+    description="Figs. 7/8/9: enhanced gossip, fout=4, TTL=9, TTLdirect=2",
+    gossip=EnhancedGossipConfig.paper_f4,
+    workload=_FIGURE_WORKLOAD,
+    full_workload=_FIGURE_FULL_WORKLOAD,
+))
+
+register(ScenarioSpec(
+    name="fig-enhanced-f2",
+    description="Figs. 12/13/14: enhanced gossip, fout=2, TTL=19, TTLdirect=3",
+    gossip=EnhancedGossipConfig.paper_f2,
+    workload=_FIGURE_WORKLOAD,
+    full_workload=_FIGURE_FULL_WORKLOAD,
+))
+
+register(ScenarioSpec(
+    name="fig-leader-fanout-ablation",
+    description="Fig. 10 ablation: leader pushes with fanout = fout = 4",
+    gossip=_gossip_leader_fanout_ablation,
+    workload=_FIGURE_WORKLOAD,
+    full_workload=_FIGURE_FULL_WORKLOAD,
+))
+
+register(ScenarioSpec(
+    name="fig-no-digest-ablation",
+    description="Fig. 11 ablation: full blocks at every hop (~8 MB/s blow-up)",
+    gossip=_gossip_no_digest_ablation,
+    # The paper ran this only long enough to demonstrate the blow-up.
+    workload=WorkloadSpec(blocks=60, idle_tail=20.0),
+    full_workload=WorkloadSpec(blocks=100, idle_tail=20.0),
+))
+
+register(ScenarioSpec(
+    name="sweep-bench",
+    description="Campaign-throughput benchmark: canonical 100-peer run, 8 seeds",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=100,
+    background=True,
+    workload=WorkloadSpec(blocks=6, idle_tail=0.0),
+    seeds=(1, 2, 3, 4, 5, 6, 7, 8),
+))
+
+register(ScenarioSpec(
+    name="scaling-template",
+    description="Template for the organization-size sweep (per-size TTL applied)",
+    gossip=EnhancedGossipConfig.paper_f4,
+    workload=WorkloadSpec(blocks=10, idle_tail=0.0),
+))
+
+# --------------------------------------------------------------------------
+# WAN / fault scenarios: deployments the paper's testbed could not express.
+# --------------------------------------------------------------------------
+
+_WAN_3_REGION = RegionTopology(
+    regions=("eu-west", "us-east", "ap-south"),
+    links=(
+        ("eu-west", "us-east", LinkSpec(0.042, 0.004)),
+        ("eu-west", "ap-south", LinkSpec(0.110, 0.008)),
+        ("us-east", "ap-south", LinkSpec(0.090, 0.006)),
+    ),
+)
+
+register(ScenarioSpec(
+    name="wan-3-region",
+    description="3 orgs in 3 regions (EU/US/AP); WAN orderer + state-info hops",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=24,
+    organizations=3,
+    topology=_WAN_3_REGION,
+    background=True,
+    workload=WorkloadSpec(blocks=4, idle_tail=5.0),
+    seeds=(1, 2, 3),
+))
+
+register(ScenarioSpec(
+    name="partition-heal",
+    description="5 of 20 peers isolated t=2..8 s; recovery catches them up after heal",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=20,
+    faults=(
+        PartitionEvent(
+            at=2.0,
+            heal_at=8.0,
+            islands=(("peer-15", "peer-16", "peer-17", "peer-18", "peer-19"),),
+        ),
+    ),
+    workload=WorkloadSpec(blocks=6, idle_tail=5.0),
+    seeds=(1, 2),
+))
+
+register(ScenarioSpec(
+    name="churn-flux",
+    description="Two overlapping crash/recover waves (5 peers each) under load",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=30,
+    background=True,
+    faults=(
+        CrashEvent(at=2.0, recover_at=6.0, regular_slice=(19, 24)),
+        CrashEvent(at=5.0, recover_at=9.0, regular_slice=(24, 29)),
+    ),
+    workload=WorkloadSpec(blocks=6, idle_tail=5.0),
+    seeds=(1, 2),
+))
+
+register(ScenarioSpec(
+    name="degraded-links",
+    description="2-region WAN; 25% loss on inter-region links t=1..8 s",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=16,
+    organizations=2,
+    topology=RegionTopology(
+        regions=("east", "west"),
+        links=(("east", "west", LinkSpec(0.038, 0.004)),),
+    ),
+    background=True,
+    faults=(DegradeEvent(at=1.0, restore_at=8.0, loss_rate=0.25),),
+    workload=WorkloadSpec(blocks=5, idle_tail=5.0),
+    seeds=(1, 2),
+))

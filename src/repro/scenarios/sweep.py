@@ -1,0 +1,159 @@
+"""Parallel multi-seed scenario sweeps.
+
+A sweep runs one registered scenario across a seed list — the repetition
+methodology the paper uses for Table II, generalized to every scenario —
+and merges the per-seed metric snapshots into one report. Seeds are
+independent simulations, so the matrix fans out over ``multiprocessing``
+workers; each worker runs exactly one deterministic simulation, and the
+merge is performed in sorted-seed order, which makes the merged report
+**byte-identical for any worker count** (``--jobs 4`` equals ``--jobs 1``
+— the acceptance test of the sweep subsystem).
+
+Workers resolve the scenario by *name* against the registry they import
+themselves, so nothing live crosses the process boundary: the task tuple
+is ``(name, seed, full)`` and the result is a plain snapshot dict.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.report import format_table
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import run_scenario
+
+# Top-level snapshot metrics averaged across seeds (in sorted-seed order,
+# so the float sums — and therefore the report bytes — are reproducible).
+AGGREGATE_KEYS = (
+    "events_executed",
+    "final_time",
+    "latency_max",
+    "latency_mean",
+    "latency_p50",
+    "latency_p95",
+    "total_bytes",
+    "total_messages",
+    "dropped_messages",
+    "blocks_via_recovery",
+)
+
+
+def _run_sweep_cell(cell: Tuple[str, int, bool]) -> Tuple[int, dict]:
+    """Worker entry point: one (scenario, seed) simulation."""
+    name, seed, full = cell
+    return seed, run_scenario(name, seed=seed, full=full).snapshot()
+
+
+@dataclass
+class SweepReport:
+    """Merged outcome of one scenario × seed matrix."""
+
+    scenario: str
+    seeds: List[int]
+    runs: Dict[int, dict] = field(default_factory=dict)  # sorted-seed order
+    aggregate: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Canonical JSON: independent of worker count and arrival order."""
+        return json.dumps(
+            {
+                "scenario": self.scenario,
+                "seeds": self.seeds,
+                "runs": {str(seed): self.runs[seed] for seed in self.seeds},
+                "aggregate": self.aggregate,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render(self) -> str:
+        headers = ["seed", "events", "mean (s)", "p50 (s)", "p95 (s)", "max (s)",
+                   "MB", "messages", "dropped", "recovered"]
+        rows = []
+        for seed in self.seeds:
+            run = self.runs[seed]
+            rows.append([
+                seed,
+                run["events_executed"],
+                run["latency_mean"],
+                run["latency_p50"],
+                run["latency_p95"],
+                run["latency_max"],
+                f"{run['total_bytes'] / 1e6:.1f}",
+                run["total_messages"],
+                run["dropped_messages"],
+                run["blocks_via_recovery"],
+            ])
+        agg = self.aggregate
+        rows.append([
+            "mean",
+            f"{agg['events_executed']:.0f}",
+            agg["latency_mean"],
+            agg["latency_p50"],
+            agg["latency_p95"],
+            agg["latency_max"],
+            f"{agg['total_bytes'] / 1e6:.1f}",
+            f"{agg['total_messages']:.0f}",
+            f"{agg['dropped_messages']:.0f}",
+            f"{agg['blocks_via_recovery']:.0f}",
+        ])
+        return format_table(
+            headers, rows,
+            title=f"sweep: {self.scenario} over {len(self.seeds)} seeds",
+        )
+
+
+def merge_runs(scenario: str, results: Sequence[Tuple[int, dict]]) -> SweepReport:
+    """Merge per-seed snapshots deterministically (sorted by seed)."""
+    ordered = sorted(results, key=lambda item: item[0])
+    seeds = [seed for seed, _ in ordered]
+    runs = {seed: snapshot for seed, snapshot in ordered}
+    aggregate: Dict[str, float] = {}
+    if ordered:
+        for key in AGGREGATE_KEYS:
+            aggregate[key] = sum(runs[seed][key] for seed in seeds) / len(seeds)
+    return SweepReport(scenario=scenario, seeds=seeds, runs=runs, aggregate=aggregate)
+
+
+class SweepRunner:
+    """Fan a scenario × seed matrix out over worker processes.
+
+    ``jobs=1`` runs inline (no pool); any higher value uses a process
+    pool of ``min(jobs, len(seeds))`` workers. The fork start method is
+    preferred (workers inherit any custom registered scenarios); where
+    only spawn exists, workers still resolve built-in scenarios through
+    their own registry import.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(
+        self,
+        scenario: str,
+        seeds: Optional[Sequence[int]] = None,
+        full: bool = False,
+    ) -> SweepReport:
+        spec = get_scenario(scenario)  # raises KeyError for unknown names
+        seed_list = list(spec.seeds) if seeds is None else list(seeds)
+        if not seed_list:
+            raise ValueError("sweep needs at least one seed")
+        if len(set(seed_list)) != len(seed_list):
+            raise ValueError(f"duplicate seeds in sweep: {seed_list}")
+        cells = [(spec.name, seed, full) for seed in seed_list]
+        workers = min(self.jobs, len(cells))
+        if workers <= 1:
+            results = [_run_sweep_cell(cell) for cell in cells]
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            with context.Pool(processes=workers) as pool:
+                results = pool.map(_run_sweep_cell, cells)
+        return merge_runs(spec.name, results)

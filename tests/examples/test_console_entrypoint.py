@@ -1,0 +1,56 @@
+"""Smoke the ``repro-experiments`` console entry point.
+
+``setup.py`` declares ``repro-experiments = repro.experiments.cli:main``;
+this test pins the declaration (so a CLI move breaks loudly), resolves
+the declared target the way a generated console script would, and runs
+it end to end as a subprocess — without requiring the package to be
+installed into the test environment.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SETUP_PY = os.path.join(REPO_ROOT, "setup.py")
+
+ENTRY_RE = re.compile(r"repro-experiments\s*=\s*([\w.]+):(\w+)")
+
+
+def declared_entry_point():
+    with open(SETUP_PY, encoding="utf-8") as handle:
+        match = ENTRY_RE.search(handle.read())
+    assert match, "setup.py no longer declares the repro-experiments console script"
+    return match.group(1), match.group(2)
+
+
+def test_entry_point_declared_and_resolvable():
+    module_name, attr = declared_entry_point()
+    assert (module_name, attr) == ("repro.experiments.cli", "main")
+    module = __import__(module_name, fromlist=[attr])
+    assert callable(getattr(module, attr))
+
+
+def test_entry_point_runs_list_like_a_console_script():
+    """Invoke exactly what the generated script would: sys.exit(main())."""
+    module_name, attr = declared_entry_point()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            f"import sys; from {module_name} import {attr}; sys.exit({attr}(['list']))",
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "scenarios" in result.stdout
+    assert "wan-3-region" in result.stdout

@@ -11,6 +11,16 @@ def test_list_command(capsys):
     assert "fig4" in out and "table2" in out and "scaling" in out
 
 
+def test_list_enumerates_scenario_registry(capsys):
+    from repro.scenarios import iter_scenarios
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for spec in iter_scenarios():
+        assert spec.name in out
+        assert spec.description in out
+
+
 def test_analysis_command(capsys):
     assert main(["analysis"]) == 0
     out = capsys.readouterr().out
@@ -21,6 +31,45 @@ def test_analysis_command(capsys):
 def test_unknown_figure_rejected(capsys):
     assert main(["figure", "fig99"]) == 2
     assert "unknown figure" in capsys.readouterr().err
+
+
+def test_unknown_sweep_scenario_rejected(capsys):
+    assert main(["sweep", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_sweep_rejects_nonpositive_seeds(capsys):
+    assert main(["sweep", "partition-heal", "--seeds", "0"]) == 2
+    assert "--seeds" in capsys.readouterr().err
+
+
+def test_sweep_rejects_nonpositive_jobs(capsys):
+    assert main(["sweep", "partition-heal", "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_sweep_runs_scenario_and_prints_report(capsys):
+    assert main(["sweep", "partition-heal", "--seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep: partition-heal over 2 seeds" in out
+    assert "mean" in out
+
+
+def test_sweep_json_output_is_jobs_invariant(capsys):
+    assert main(["sweep", "partition-heal", "--seeds", "2", "--json"]) == 0
+    sequential = capsys.readouterr().out
+    assert main(["sweep", "partition-heal", "--seeds", "2", "--jobs", "2", "--json"]) == 0
+    parallel = capsys.readouterr().out
+    assert sequential == parallel
+
+
+def test_sweep_arguments():
+    args = build_parser().parse_args(
+        ["sweep", "wan-3-region", "--seeds", "8", "--jobs", "4", "--base-seed", "3"]
+    )
+    assert args.scenario == "wan-3-region"
+    assert (args.seeds, args.jobs, args.base_seed) == (8, 4, 3)
+    assert args.full is False and args.json is False
 
 
 def test_parser_requires_command():

@@ -94,3 +94,90 @@ def test_wan_latency_unmapped_nodes_are_remote(rng):
     )
     assert model.sample(rng, "orderer", "a") == 0.040
     assert model.sample(rng, "orderer", "client") == 0.040
+
+
+# ----- TopologyLatency -----------------------------------------------------
+
+from repro.net.latency import TopologyLatency  # noqa: E402
+
+
+def make_topology():
+    return TopologyLatency(
+        matrix={
+            ("eu", "eu"): (0.001,),
+            ("us", "us"): (0.002,),
+            ("eu", "us"): (0.040,),
+        },
+        default=(0.100,),
+        region_of={"a": "eu", "b": "eu", "c": "us"},
+    )
+
+
+def test_topology_intra_and_inter_pairs(rng):
+    model = make_topology()
+    assert model.sample(rng, "a", "b") == 0.001
+    assert model.sample(rng, "a", "c") == 0.040
+    assert model.sample(rng, "c", "c2") == 0.100  # unmapped node -> default
+
+
+def test_topology_lookup_is_symmetric(rng):
+    model = make_topology()
+    # Only (eu, us) is declared; (us, eu) resolves through the swap.
+    assert model.sample(rng, "c", "a") == 0.040
+
+
+def test_topology_unknown_pair_uses_default(rng):
+    model = TopologyLatency(
+        matrix={("eu", "eu"): (0.001,)},
+        default=(0.123,),
+        region_of={"a": "eu", "z": "ap"},
+    )
+    assert model.sample(rng, "a", "z") == 0.123
+
+
+def test_topology_deferred_region_assignment(rng):
+    model = TopologyLatency(matrix={("eu", "eu"): (0.001,)}, default=(0.050,))
+    assert model.sample(rng, "a", "b") == 0.050  # nobody placed yet
+    model.assign_regions({"a": "eu", "b": "eu"})
+    assert model.sample(rng, "a", "b") == 0.001  # memo cleared, re-resolved
+    assert model.region_of("a") == "eu"
+
+
+def test_topology_bound_sampler_matches_sample_bitwise():
+    """The RNG-order contract: bind() must consume the rng like sample()."""
+    model = TopologyLatency(
+        matrix={("eu", "eu"): (0.001, 0.0005, 0.7), ("eu", "us"): (0.04, 0.002, 0.9)},
+        default=(0.1, 0.001, 0.8),
+        region_of={"a": "eu", "b": "eu", "c": "us"},
+    )
+    pairs = [("a", "b"), ("a", "c"), ("b", "c"), ("a", "x"), ("b", "a")] * 40
+    rng1, rng2 = random.Random(7), random.Random(7)
+    direct = [model.sample(rng1, src, dst) for src, dst in pairs]
+    bound = model.bind(rng2)
+    via_bind = [bound(src, dst) for src, dst in pairs]
+    assert direct == via_bind
+    assert rng1.getstate() == rng2.getstate()
+
+
+def test_topology_batch_sampler_matches_sequential_draws():
+    model = TopologyLatency(
+        matrix={("eu", "eu"): (0.001, 0.0005, 0.7)},
+        default=(0.1, 0.001, 0.8),
+        region_of={"a": "eu", "b": "eu", "c": "us"},
+    )
+    dsts = ["b", "c", "b", "x", "c"]
+    rng1, rng2 = random.Random(3), random.Random(3)
+    sequential = [model.sample(rng1, "a", dst) for dst in dsts]
+    batch = model.bind_batch(rng2)("a", dsts)
+    assert sequential == batch
+    assert rng1.getstate() == rng2.getstate()
+
+
+def test_topology_param_normalization():
+    model = TopologyLatency(matrix={("r", "r"): 0.005}, default=(0.01, 0.002))
+    rng = random.Random(1)
+    assert model.sample(rng, "n1", "n2") >= 0.01  # default has jitter
+    with pytest.raises(ValueError):
+        TopologyLatency(matrix={("r", "r"): (-0.001,)})
+    with pytest.raises(ValueError):
+        TopologyLatency(matrix={("r", "r"): (0.1, 0.1, 0.1, 0.1)})

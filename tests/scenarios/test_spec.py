@@ -1,0 +1,108 @@
+"""ScenarioSpec / RegionTopology validation and derivation."""
+
+import pickle
+
+import pytest
+
+from repro.gossip.config import EnhancedGossipConfig
+from repro.scenarios import LinkSpec, RegionTopology, ScenarioSpec, WorkloadSpec
+
+
+def minimal_spec(**overrides):
+    base = dict(
+        name="t", description="test", gossip=EnhancedGossipConfig.paper_f4
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def test_spec_is_frozen_and_hashable():
+    spec = minimal_spec()
+    with pytest.raises(Exception):
+        spec.n_peers = 5
+    assert hash(spec)
+
+
+def test_spec_is_picklable():
+    spec = minimal_spec(
+        topology=RegionTopology(regions=("eu", "us")), organizations=2
+    )
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.gossip() == EnhancedGossipConfig.paper_f4()
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        minimal_spec(n_peers=1)
+    with pytest.raises(ValueError):
+        minimal_spec(organizations=0)
+    with pytest.raises(ValueError):
+        minimal_spec(placement=(("org0", "eu"),))  # placement without topology
+    with pytest.raises(ValueError):
+        minimal_spec(
+            topology=RegionTopology(regions=("eu",)),
+            placement=(("org0", "mars"),),
+        )
+
+
+def test_org_regions_round_robin_default():
+    spec = minimal_spec(
+        organizations=3, topology=RegionTopology(regions=("eu", "us"))
+    )
+    assert spec.org_regions() == {"org0": "eu", "org1": "us", "org2": "eu"}
+
+
+def test_org_regions_explicit_placement():
+    spec = minimal_spec(
+        organizations=2,
+        topology=RegionTopology(regions=("eu", "us")),
+        placement=(("org0", "us"), ("org1", "us")),
+    )
+    assert spec.org_regions() == {"org0": "us", "org1": "us"}
+
+
+def test_org_regions_none_without_topology():
+    assert minimal_spec().org_regions() is None
+
+
+def test_with_overrides_revalidates():
+    spec = minimal_spec()
+    assert spec.with_overrides(n_peers=42).n_peers == 42
+    with pytest.raises(ValueError):
+        spec.with_overrides(n_peers=1)
+
+
+def test_topology_validation():
+    with pytest.raises(ValueError):
+        RegionTopology(regions=())
+    with pytest.raises(ValueError):
+        RegionTopology(regions=("eu", "eu"))
+    with pytest.raises(ValueError):
+        RegionTopology(regions=("eu",), links=(("eu", "us", LinkSpec(0.01)),))
+    with pytest.raises(ValueError):
+        RegionTopology(regions=("eu",), orderer_region="us")
+    with pytest.raises(ValueError):
+        LinkSpec(-0.1)
+
+
+def test_topology_builds_latency_model():
+    topology = RegionTopology(
+        regions=("eu", "us"),
+        links=(("eu", "us", LinkSpec(0.040)),),
+        intra=LinkSpec(0.001),
+    )
+    model = topology.build_latency()
+    model.assign_regions({"a": "eu", "b": "eu", "c": "us"})
+    import random
+
+    rng = random.Random(1)
+    assert model.sample(rng, "a", "b") == 0.001
+    assert model.sample(rng, "a", "c") == 0.040
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(blocks=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(block_period=0.0)

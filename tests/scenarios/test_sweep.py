@@ -1,0 +1,60 @@
+"""SweepRunner: parallel fan-out with a byte-deterministic merge."""
+
+import json
+
+import pytest
+
+from repro.scenarios import SweepRunner, get_scenario, merge_runs
+from repro.scenarios.sweep import AGGREGATE_KEYS, _run_sweep_cell
+
+
+def test_jobs_parallel_merge_is_byte_identical_to_sequential():
+    """The acceptance criterion: --jobs N produces byte-identical merged
+    metrics to --jobs 1 for the same seed list."""
+    seeds = [1, 2, 3]
+    sequential = SweepRunner(jobs=1).run("partition-heal", seeds=seeds)
+    parallel = SweepRunner(jobs=3).run("partition-heal", seeds=seeds)
+    assert sequential.to_json() == parallel.to_json()
+    assert sequential.render() == parallel.render()
+
+
+def test_merge_is_arrival_order_independent():
+    cells = [("partition-heal", seed, False) for seed in (2, 1)]
+    results = [_run_sweep_cell(cell) for cell in cells]
+    shuffled = merge_runs("partition-heal", results)
+    ordered = merge_runs("partition-heal", sorted(results))
+    assert shuffled.to_json() == ordered.to_json()
+    assert shuffled.seeds == [1, 2]
+
+
+def test_default_seeds_come_from_the_spec():
+    report = SweepRunner(jobs=1).run("partition-heal")
+    assert report.seeds == list(get_scenario("partition-heal").seeds)
+
+
+def test_aggregate_means_cover_all_keys():
+    report = SweepRunner(jobs=1).run("partition-heal", seeds=[1, 2])
+    assert set(report.aggregate) == set(AGGREGATE_KEYS)
+    for key in AGGREGATE_KEYS:
+        expected = (report.runs[1][key] + report.runs[2][key]) / 2
+        assert report.aggregate[key] == expected
+
+
+def test_report_json_round_trips():
+    report = SweepRunner(jobs=1).run("partition-heal", seeds=[1])
+    payload = json.loads(report.to_json())
+    assert payload["scenario"] == "partition-heal"
+    assert payload["seeds"] == [1]
+    assert payload["runs"]["1"]["events_executed"] > 0
+
+
+def test_sweep_validation():
+    with pytest.raises(ValueError):
+        SweepRunner(jobs=0)
+    runner = SweepRunner(jobs=1)
+    with pytest.raises(KeyError):
+        runner.run("does-not-exist")
+    with pytest.raises(ValueError):
+        runner.run("partition-heal", seeds=[])
+    with pytest.raises(ValueError):
+        runner.run("partition-heal", seeds=[1, 1])
