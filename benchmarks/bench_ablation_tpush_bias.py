@@ -16,7 +16,7 @@ same peer — near zero with t_push = 0, substantial with the buffer on.
 from collections import defaultdict
 
 from benchmarks.conftest import run_once
-from repro.experiments.dissemination import DisseminationConfig, run_dissemination
+from repro.experiments.dissemination import DisseminationConfig
 from repro.gossip.config import EnhancedGossipConfig
 
 
@@ -77,7 +77,7 @@ def test_ablation_tpush_bias(benchmark, full_scale):
 
     reuse_unbiased = _reuse_fraction(samples_unbiased)
     reuse_buffered = _reuse_fraction(samples_buffered)
-    print(f"\nconsecutive same-block forwards reusing the SAME target sample:")
+    print("\nconsecutive same-block forwards reusing the SAME target sample:")
     print(f"  t_push = 0    : {reuse_unbiased * 100:.1f}%  (independent samples, as the analysis assumes)")
     print(f"  t_push = 10 ms: {reuse_buffered * 100:.1f}%  (buffer merges pairs into one sample)")
 

@@ -36,7 +36,7 @@ def test_fig11_no_digest_ablation(benchmark, full_scale):
     per_block = counts["BlockPush"] / ablation.config.blocks
     print(f"\nregular peer avg: {ablation_avg:.2f} MB/s (digest version: {baseline_avg:.2f})")
     print(f"full-block transmissions per block: {per_block:.0f} "
-          f"(digest version keeps it at ~n)")
+          "(digest version keeps it at ~n)")
 
     # The blow-up: several times the digest version's bandwidth, and far
     # more than n full copies per block.

@@ -29,7 +29,7 @@ def test_fig14_enhanced_f2_bandwidth(benchmark, full_scale):
     f2_avg = f2.average_regular_peer_mb_per_s()
     f4_avg = f4.average_regular_peer_mb_per_s()
     print(f"\nregular peer avg: f2 {f2_avg:.2f} MB/s vs f4 {f4_avg:.2f} MB/s "
-          f"(paper: essentially unchanged)")
+          "(paper: essentially unchanged)")
 
     assert abs(f2_avg - f4_avg) / f4_avg < 0.15
     counts = f2.bandwidth_report().message_counts()

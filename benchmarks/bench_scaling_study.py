@@ -28,5 +28,5 @@ def test_scaling_study(benchmark, full_scale):
     size_ratio = largest.n_peers / smallest.n_peers
     latency_ratio = largest.median_latency / smallest.median_latency
     print(f"\nn grew {size_ratio:.0f}x; median latency grew {latency_ratio:.2f}x "
-          f"(logarithmic epidemic depth)")
+          "(logarithmic epidemic depth)")
     assert latency_ratio < size_ratio / 2

@@ -62,18 +62,18 @@ def main() -> None:
     worst_enhanced = max(enhanced.time_to_reach_all())
     print(f"\nworst time to reach ALL peers: original {worst_original:.2f} s, "
           f"enhanced {worst_enhanced:.3f} s -> {worst_original / worst_enhanced:.0f}x faster")
-    print(f"(paper headline: more than 10x faster)")
+    print("(paper headline: more than 10x faster)")
 
     original_bw = original.average_regular_peer_mb_per_s()
     enhanced_bw = enhanced.average_regular_peer_mb_per_s()
     print(f"\nregular-peer bandwidth: original {original_bw:.2f} MB/s, "
           f"enhanced {enhanced_bw:.2f} MB/s -> {(1 - enhanced_bw / original_bw) * 100:.0f}% less")
-    print(f"(paper headline: more than 40% less)")
+    print("(paper headline: more than 40% less)")
 
-    print(f"\ntail composition of the original module: "
+    print("\ntail composition of the original module: "
           f"{original.pull_usage()} block receptions via the 4 s pull, "
           f"{original.recovery_usage()} via the 10 s recovery")
-    print(f"95th-percentile latency, original: "
+    print("95th-percentile latency, original: "
           f"{tail_latency(original.tracker.all_latencies(), 0.95):.2f} s; "
           f"enhanced never exceeds {max(latencies_enhanced):.3f} s")
 

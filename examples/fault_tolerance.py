@@ -43,9 +43,9 @@ def scenario_crash_and_recover() -> None:
         lambda: all(p.ledger_height >= 12 for p in net.peers.values()),
         step=1.0, max_time=120.0,
     )
-    print(f"peer-13 crashed at t=2 s, recovered at t=10 s, final height "
+    print("peer-13 crashed at t=2 s, recovered at t=10 s, final height "
           f"{victim.ledger_height}/12")
-    print(f"blocks it fetched through the recovery component: "
+    print("blocks it fetched through the recovery component: "
           f"{victim.blocks_received_via['recovery']}")
     assert victim.blockchain.verify_committed_chain()
     print("chain integrity verified\n")

@@ -45,10 +45,10 @@ def main() -> None:
         step=1.0, max_time=180.0,
     )
 
-    print(f"deployment: 3 organizations x 20 peers, leaders "
+    print("deployment: 3 organizations x 20 peers, leaders "
           f"{sorted(net.leaders.values())}")
     print(f"cross-organization push messages observed: {len(cross_org)} "
-          f"(must be 0: gossip is org-local)")
+          "(must be 0: gossip is org-local)")
     assert cross_org == []
 
     rows = []
@@ -116,7 +116,7 @@ def wan_scenario() -> None:
     latencies = net.tracker.all_latencies()
     latencies.sort()
     print(f"median dissemination latency: {latencies[len(latencies) // 2]:.3f} s "
-          f"(gossip stays intra-datacenter; only orderer->leader crosses the WAN)")
+          "(gossip stays intra-datacenter; only orderer->leader crosses the WAN)")
     print(f"worst: {latencies[-1]:.3f} s")
 
 

@@ -43,7 +43,7 @@ def main() -> None:
     print(f"  regular peer: {result.average_regular_peer_mb_per_s():.2f} MB/s")
 
     counts = result.bandwidth_report().message_counts()
-    print(f"\nFull-block transmissions per block: "
+    print("\nFull-block transmissions per block: "
           f"{counts['BlockPush'] / config.blocks:.0f} (n + o(n); n = {config.n_peers})")
     print(f"Push digests per block: {counts.get('PushDigest', 0) / config.blocks:.0f}")
 

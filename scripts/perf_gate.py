@@ -12,9 +12,22 @@ Usage::
 
     PYTHONPATH=src python scripts/perf_gate.py                # full gate
     PYTHONPATH=src python scripts/perf_gate.py --update       # refresh baselines
+    PYTHONPATH=src python scripts/perf_gate.py --update-goldens-only  # goldens only
     PYTHONPATH=src python scripts/perf_gate.py --determinism-only   # CI mode
+    PYTHONPATH=src python scripts/perf_gate.py --determinism-only --shards 4
     PYTHONPATH=src python scripts/perf_gate.py --threshold 0.3
     PYTHONPATH=src python scripts/perf_gate.py --sizes 50,100 --skip-determinism
+
+``--determinism-only --shards N`` replays every golden scenario
+process-sharded across N workers and fails on any divergence from the
+committed goldens (every metric except the engine-internal
+``events_executed``, which legitimately depends on the shard count — see
+docs/sharding.md). ``--diff-output PATH`` writes any golden-vs-actual
+mismatches as JSON so CI can upload them as a debugging artifact.
+
+``--update-goldens-only`` refreshes ``golden_metrics.json`` without
+re-measuring throughput: on a noisy machine a legitimate golden refresh
+must not rewrite ``BENCH_core.json`` with garbage events/sec points.
 
 CI runs ``--determinism-only``: the bit-for-bit golden replay is
 machine-independent, while events/sec on shared runners is noise — the
@@ -60,9 +73,11 @@ from repro.perf import (  # noqa: E402 (path bootstrap above)
     check_determinism,
     check_event_reduction,
     check_reference_tolerance,
+    check_sharded_determinism,
     compare_bench,
     run_core_benchmark,
     run_recovery_benchmark,
+    run_shard_scaling_benchmark,
     run_sweep_benchmark,
     update_golden,
     write_bench_json,
@@ -103,12 +118,31 @@ def main(argv=None) -> int:
                         help="rewrite BENCH_core.json and golden_metrics.json with this "
                              "run instead of gating (see module docstring for when this "
                              "is legitimate)")
+    parser.add_argument("--update-goldens-only", action="store_true",
+                        help="refresh golden_metrics.json (with the PR-1 tolerance "
+                             "guardrail) without re-measuring throughput — the right "
+                             "refresh on a noisy machine, where --update would rewrite "
+                             "BENCH_core.json with garbage events/sec")
     parser.add_argument("--skip-determinism", action="store_true",
                         help="skip the golden-metric determinism check")
     parser.add_argument("--determinism-only", action="store_true",
                         help="run only the machine-independent checks (golden replay + "
                              "PR-1 tolerance + event reduction); skip the events/sec "
                              "comparison — the CI mode for shared runners")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="replay the goldens process-sharded across N workers "
+                             "(requires --determinism-only); the merged run must "
+                             "reproduce every golden metric except events_executed")
+    parser.add_argument("--shard-mode", choices=("auto", "processes", "inline"),
+                        default="auto", help="shard execution mode for --shards")
+    parser.add_argument("--diff-output", default=None, metavar="PATH",
+                        help="write golden-vs-actual mismatches as JSON to PATH on "
+                             "determinism failure (CI uploads it as an artifact)")
+    parser.add_argument("--shard-bench", action="store_true",
+                        help="with --update: re-measure the 10k-peer shard-scaling "
+                             "section (several minutes; each worker rebuilds the full "
+                             "deployment). Without it, --update carries the committed "
+                             "section forward unchanged")
     args = parser.parse_args(argv)
 
     if args.update and args.determinism_only:
@@ -116,15 +150,59 @@ def main(argv=None) -> int:
             "--update with --determinism-only would shrink BENCH_core.json "
             "to the single CI-mode size; run --update without it"
         )
+    if args.update and args.update_goldens_only:
+        parser.error("--update already refreshes the goldens; drop one of the flags")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1 and not args.determinism_only:
+        parser.error("--shards requires --determinism-only (the sharded gate "
+                     "replays goldens; throughput is measured single-process)")
+    if args.shard_bench and not args.update:
+        parser.error("--shard-bench only applies with --update (it re-measures "
+                     "the committed shard-scaling section)")
+
+    if args.update_goldens_only:
+        try:
+            golden = update_golden()
+        except ValueError as error:
+            print(f"GOLDEN UPDATE REFUSED: {error}")
+            return 1
+        print(f"golden metrics updated ({len(golden)} scenarios): "
+              "src/repro/perf/golden_metrics.json (BENCH_core.json untouched)")
+        return 0
+
+    def report_failure(header, lines, diff):
+        print(header)
+        for line in lines:
+            print(f"  - {line}")
+        if args.diff_output and diff:
+            with open(args.diff_output, "w", encoding="utf-8") as handle:
+                json.dump({"failures": diff}, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"diff written to {args.diff_output}")
+
+    if args.shards > 1:
+        diff = []
+        mismatches = check_sharded_determinism(
+            shards=args.shards, mode=args.shard_mode, diff=diff
+        )
+        if mismatches:
+            report_failure(
+                f"sharded determinism contract VIOLATED (shards={args.shards}):",
+                mismatches, diff,
+            )
+            return 1
+        print("sharded determinism: OK (golden metrics reproduced bit-for-bit "
+              f"across {args.shards} shard workers, events_executed excluded)")
+        return 0
 
     if args.update:
         pass  # all writes happen after every failable gate below has run
     elif not args.skip_determinism:
-        mismatches = check_determinism()
+        diff = []
+        mismatches = check_determinism(diff=diff)
         if mismatches:
-            print("determinism contract VIOLATED:")
-            for line in mismatches:
-                print(f"  - {line}")
+            report_failure("determinism contract VIOLATED:", mismatches, diff)
             return 1
         drift = check_reference_tolerance()
         if drift:
@@ -182,7 +260,7 @@ def main(argv=None) -> int:
         # baselines are rewritten or neither is.
         if args.sizes is not None:
             print(
-                f"WARNING: --update with --sizes rewrites BENCH_core.json with "
+                "WARNING: --update with --sizes rewrites BENCH_core.json with "
                 f"ONLY n={sizes}; future gate runs derive their sweep from the "
                 "baseline, so coverage of the other sizes is dropped"
             )
@@ -204,9 +282,26 @@ def main(argv=None) -> int:
             f"({sweep_result.parallel_speedup:.2f}x, merged reports identical)"
         )
         baseline_eps = None
+        shard_scaling = None
         if os.path.exists(args.baseline):
             with open(args.baseline, encoding="utf-8") as handle:
-                baseline_eps = json.load(handle).get("baseline_events_per_sec")
+                committed = json.load(handle)
+            baseline_eps = committed.get("baseline_events_per_sec")
+            shard_scaling = committed.get("shard_scaling")
+        if args.shard_bench:
+            from dataclasses import asdict
+
+            scaling_result = run_shard_scaling_benchmark()
+            shard_scaling = asdict(scaling_result)
+            for point in scaling_result.points:
+                print(
+                    f"shard-scaling n={scaling_result.n_peers} "
+                    f"shards={point['shards']}: {point['events_per_sec']:,.0f} "
+                    f"events/s (wall {point['wall_time_s']:.1f}s, merged "
+                    "snapshot identical)"
+                )
+        elif shard_scaling is not None:
+            print("shard-scaling section carried forward (re-measure with --shard-bench)")
         write_bench_json(
             results,
             args.baseline,
@@ -215,12 +310,13 @@ def main(argv=None) -> int:
             },
             recovery_results=recovery_results,
             sweep_result=sweep_result,
+            shard_scaling=shard_scaling,
         )
         print(f"baseline updated: {args.baseline}")
         return 0
 
     if args.determinism_only:
-        print(f"determinism-only gate passed (event reduction >= "
+        print("determinism-only gate passed (event reduction >= "
               f"{args.reduction_floor:.0%} at n={sizes})")
         return 0
 

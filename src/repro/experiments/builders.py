@@ -10,7 +10,7 @@ point.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.crypto.identity import MembershipServiceProvider
@@ -33,6 +33,44 @@ from repro.simulation.engine import Simulator
 from repro.simulation.random import RandomStreams
 
 GossipChoice = Union[OriginalGossipConfig, EnhancedGossipConfig]
+
+
+def organization_members(n_peers: int, organizations: int) -> Dict[str, List[str]]:
+    """The canonical peer naming and org assignment of every deployment.
+
+    ``peer-{i}`` belongs to ``org{i % organizations}``. Both
+    :func:`build_network` and the shard planner
+    (:func:`repro.scenarios.sharded.plan_for`) derive node placement from
+    this single function, so the planner's region map can never silently
+    diverge from the deployment actually built.
+    """
+    org_members: Dict[str, List[str]] = {}
+    for index in range(n_peers):
+        org = f"org{index % organizations}"
+        org_members.setdefault(org, []).append(f"peer-{index}")
+    return org_members
+
+
+def node_region_placement(
+    org_members: Dict[str, List[str]],
+    org_regions: Dict[str, str],
+    orderer_region: Optional[str] = None,
+) -> Dict[str, str]:
+    """Expand an org→region placement to the node→region map.
+
+    Every peer inherits its organization's region; the orderer defaults
+    to the first placed region in sorted order.
+    """
+    missing = sorted(set(org_members) - set(org_regions))
+    if missing:
+        raise ValueError(f"organizations without a region placement: {missing}")
+    region_of: Dict[str, str] = {}
+    for org, members in org_members.items():
+        region = org_regions[org]
+        for name in members:
+            region_of[name] = region
+    region_of["orderer"] = orderer_region or sorted(set(org_regions.values()))[0]
+    return region_of
 
 
 def gossip_factory(choice: GossipChoice) -> Callable:
@@ -156,22 +194,11 @@ def build_network(
         raise ValueError("need at least 2 peers")
     if organizations < 1 or organizations > n_peers:
         raise ValueError("invalid organization count")
-    org_members: Dict[str, List[str]] = {}
-    for index in range(n_peers):
-        org = f"org{index % organizations}"
-        org_members.setdefault(org, []).append(f"peer-{index}")
+    org_members = organization_members(n_peers, organizations)
     leaders = {org: members[0] for org, members in org_members.items()}
 
     if org_regions is not None:
-        missing = sorted(set(org_members) - set(org_regions))
-        if missing:
-            raise ValueError(f"organizations without a region placement: {missing}")
-        region_of: Dict[str, str] = {}
-        for org, members in org_members.items():
-            region = org_regions[org]
-            for name in members:
-                region_of[name] = region
-        region_of["orderer"] = orderer_region or sorted(set(org_regions.values()))[0]
+        region_of = node_region_placement(org_members, org_regions, orderer_region)
         # The caller's config object is never mutated: the placement lands
         # on a shallow copy (the latency model is shared — fresh builds
         # should pass a fresh model, as the scenario runner does).

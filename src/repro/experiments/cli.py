@@ -9,10 +9,14 @@ Usage (``repro-experiments`` after ``pip install -e .``, or
     repro-experiments analysis
     repro-experiments scaling --sizes 25 50 100
     repro-experiments sweep wan-3-region --seeds 8 --jobs 4 [--json]
+    repro-experiments run wan-3-region --seed 1 --shards 4 [--json]
 
 ``figure``/``table2``/... print the same rows/series the paper reports;
 ``sweep`` fans a registered scenario over a seed matrix in parallel
-worker processes (the merged report is byte-identical for any --jobs).
+worker processes (the merged report is byte-identical for any --jobs);
+``run`` executes one scenario for one seed, optionally sharded across
+worker processes (``--shards N``; the merged snapshot is bit-for-bit
+identical to ``--shards 1`` — see docs/sharding.md).
 """
 
 from __future__ import annotations
@@ -62,6 +66,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(report.to_json())
     else:
         print(report.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    if args.scenario not in scenario_names():
+        print(
+            f"unknown scenario {args.scenario!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    from repro.scenarios import run_scenario_sharded
+
+    run = run_scenario_sharded(
+        args.scenario,
+        seed=args.seed,
+        shards=args.shards,
+        mode=args.mode,
+        full=args.full,
+    )
+    snapshot = run.snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        plan = run.plan
+        if plan.shards > 1:
+            print(
+                f"{args.scenario} seed={run.seed}: {plan.shards} shards, "
+                f"lookahead {plan.lookahead * 1e3:.1f} ms, "
+                f"{plan.windows_per_second} windows/s ({run.mode})"
+            )
+        elif plan.forced_reason:
+            print(
+                f"{args.scenario} seed={run.seed}: single-process "
+                f"(forced: {plan.forced_reason})"
+            )
+        else:
+            print(f"{args.scenario} seed={run.seed}: single-process")
+        for key in sorted(snapshot):
+            if key in ("scenario", "seed", "by_kind_bytes"):
+                continue
+            print(f"  {key:<20} {snapshot[key]}")
     return 0
 
 
@@ -187,6 +237,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--full", action="store_true", help="paper-scale workload")
     sweep.add_argument("--json", action="store_true", help="print the merged JSON report")
     sweep.set_defaults(func=_cmd_sweep)
+
+    run = sub.add_parser(
+        "run", help="run one scenario for one seed, optionally process-sharded"
+    )
+    run.add_argument("scenario", help="registered scenario name (see 'list')")
+    run.add_argument("--seed", type=int, default=None,
+                     help="seed (default: the scenario's first seed)")
+    run.add_argument("--shards", type=int, default=1,
+                     help="shard worker processes; the merged snapshot is "
+                          "bit-for-bit identical for any value")
+    run.add_argument("--mode", choices=("auto", "processes", "inline"),
+                     default="auto",
+                     help="sharded execution mode (default auto: one OS "
+                          "process per shard)")
+    run.add_argument("--full", action="store_true", help="paper-scale workload")
+    run.add_argument("--json", action="store_true", help="print the snapshot as JSON")
+    run.set_defaults(func=_cmd_run)
     return parser
 
 

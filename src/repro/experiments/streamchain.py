@@ -17,10 +17,9 @@ both gossip modules.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.experiments.builders import GossipChoice, build_network
-from repro.experiments.workloads import synthetic_block_transactions
 from repro.fabric.config import OrdererConfig, PeerConfig, ValidationMode
 from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
 from repro.metrics.latency import LatencyStats

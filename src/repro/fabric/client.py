@@ -18,8 +18,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.crypto.identity import Identity
 from repro.fabric.endorsement import EndorsementPolicy
 from repro.fabric.messages import EndorsementRequest, EndorsementResponse, SubmitTransaction
-from repro.ledger.rwset import ReadWriteSet
-from repro.ledger.transaction import Endorsement, TransactionProposal
+from repro.ledger.transaction import TransactionProposal
 from repro.metrics.conflicts import ConflictTracker
 from repro.net.message import Message
 from repro.net.network import Network

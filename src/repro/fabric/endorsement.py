@@ -8,7 +8,7 @@ from whom (paper §II-B). We implement the common quorum form: at least
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional
 
 from repro.ledger.transaction import Endorsement, TransactionProposal

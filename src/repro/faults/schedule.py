@@ -149,7 +149,7 @@ def _resolve_islands(event: PartitionEvent, net) -> List[List[str]]:
             else:
                 raise ValueError(
                     f"partition island entry {entry!r} is neither a placed "
-                    f"region nor a known node"
+                    "region nor a known node"
                 )
         islands.append(members)
     return islands

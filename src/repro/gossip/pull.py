@@ -14,7 +14,7 @@ period (2 s) and possibly several periods before obtaining the block.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.gossip.base import bind_multicast
 from repro.gossip.messages import (

@@ -35,17 +35,17 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.gossip.base import bind_multicast
+from repro.gossip.messages import BlockPush, PushDigest, PushRequest
+from repro.gossip.view import OrganizationView
+from repro.ledger.block import Block
+
 # Pair keys pack (block number, counter) into one int so the dedup check —
 # run once per received pair or digest, the hottest gossip code path — is a
 # single flat-set probe instead of a per-block dict of sets. Counters are
 # bounded by the TTL (tens in practice); 20 bits leave room far beyond any
 # configured TTL while block numbers occupy the upper bits.
 _PAIR_SHIFT = 20
-
-from repro.gossip.base import bind_multicast
-from repro.gossip.messages import BlockPush, PushDigest, PushRequest
-from repro.gossip.view import OrganizationView
-from repro.ledger.block import Block
 
 
 class InfectUponContagionPush:

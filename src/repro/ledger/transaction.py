@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.crypto.identity import Identity
 from repro.crypto.signature import SIGNATURE_SIZE_BYTES, Signature, sign

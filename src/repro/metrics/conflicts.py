@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Set, Tuple
+from typing import Dict, Set
 
 from repro.fabric.validation import BlockValidationResult
 from repro.ledger.transaction import ValidationCode

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.metrics.latency import LatencyStats
 from repro.metrics.probability_plot import ProbabilityPoint

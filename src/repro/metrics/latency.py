@@ -105,6 +105,38 @@ class DisseminationTracker:
     def committed(self, peer: str, block_number: int, time: float) -> None:
         self.commit_times[(peer, block_number)] = time
 
+    def merge_from(self, other: "DisseminationTracker") -> None:
+        """Fold another tracker's raw recordings into this one.
+
+        Used by the process-sharded executor: each shard records only its
+        own peers' receptions (and, on the leader/orderer shards, the t0
+        and cut instants), so the merged multiset of (block, peer, time)
+        recordings equals the single-process run's exactly and every
+        derived statistic — :meth:`summary` sorts its samples before
+        aggregating — is bit-for-bit identical. Resolution state is
+        rebuilt lazily after the merge.
+        """
+        for number, t0 in other._t0.items():
+            mine = self._t0.get(number)
+            if mine is None or t0 < mine:
+                self._t0[number] = t0
+                self._latency.setdefault(number, {})
+        for number, cut in other._cut_at.items():
+            mine = self._cut_at.get(number)
+            if mine is None or cut < mine:
+                self._cut_at[number] = cut
+        for number, receptions in other._absolute.items():
+            mine_receptions = self._absolute.setdefault(number, {})
+            for peer, when in receptions.items():
+                existing = mine_receptions.get(peer)
+                if existing is None or when < existing:
+                    mine_receptions[peer] = when
+        for number, latencies in other._latency.items():
+            per_block = self._latency.setdefault(number, {})
+            for peer, value in latencies.items():
+                per_block.setdefault(peer, value)
+        self.commit_times.update(other.commit_times)
+
     # ----- resolution ----------------------------------------------------
 
     def _resolve(self) -> None:

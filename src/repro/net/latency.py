@@ -45,6 +45,19 @@ class LatencyModel:
         sample = self.bind(rng)
         return lambda src, dsts: [sample(src, dst) for dst in dsts]
 
+    def min_delay(self) -> float:
+        """A lower bound on any delay this model can produce.
+
+        The process-sharded executor derives its conservative window
+        lookahead from this bound (``docs/sharding.md``): every message
+        crossing a shard boundary is in flight for at least this long, so
+        windows no longer than the bound never miss a cross-shard
+        delivery. The bound need not be attained, but MUST never be
+        exceeded from below — returning 0.0 (the safe default) forces
+        single-process execution.
+        """
+        return 0.0
+
 
 class ConstantLatency(LatencyModel):
     """Fixed delay; handy for deterministic unit tests."""
@@ -64,6 +77,9 @@ class ConstantLatency(LatencyModel):
     def bind_batch(self, rng: random.Random) -> "Callable[[str, Sequence[str]], List[float]]":
         delay = self.delay
         return lambda src, dsts: [delay] * len(dsts)
+
+    def min_delay(self) -> float:
+        return self.delay
 
 
 class UniformLatency(LatencyModel):
@@ -87,6 +103,9 @@ class UniformLatency(LatencyModel):
         uniform = rng.uniform
         low, high = self.low, self.high
         return lambda src, dsts: [uniform(low, high) for _ in dsts]
+
+    def min_delay(self) -> float:
+        return self.low
 
 
 class WanLatency(LatencyModel):
@@ -115,6 +134,9 @@ class WanLatency(LatencyModel):
         if src_site is not None and src_site == dst_site:
             return self.intra.sample(rng, src, dst)
         return self.inter.sample(rng, src, dst)
+
+    def min_delay(self) -> float:
+        return min(self.intra.min_delay(), self.inter.min_delay())
 
 
 class TopologyLatency(LatencyModel):
@@ -212,6 +234,29 @@ class TopologyLatency(LatencyModel):
             return base
         return base + rng.lognormvariate(mu, sigma)
 
+    def min_delay(self) -> float:
+        """Smallest base across all declared pairs and the default.
+
+        The lognormal jitter is strictly positive, so every pair's base is
+        a true lower bound on its delay.
+        """
+        bases = [params[0] for params in self._matrix.values()]
+        bases.append(self._default[0])
+        return min(bases)
+
+    def min_delay_between_regions(self, region_a: str, region_b: str) -> float:
+        """Lower bound on the delay of one (region, region) link class.
+
+        The shard planner computes its lookahead as the minimum of this
+        over all region pairs that cross a shard boundary — a much
+        tighter window than the global :meth:`min_delay` when fast
+        intra-region links never cross shards (region-aligned sharding).
+        """
+        params = self._matrix.get((region_a, region_b))
+        if params is None:
+            params = self._matrix.get((region_b, region_a), self._default)
+        return params[0]
+
     def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
         # Same draw sequence as sample() — rng.lognormvariate per jittered
         # copy — with the memo/attribute lookups hoisted.
@@ -268,6 +313,9 @@ class LanLatency(LatencyModel):
         if self._mu is not None:
             jitter = rng.lognormvariate(self._mu, self.jitter_sigma)
         return self.base + jitter
+
+    def min_delay(self) -> float:
+        return self.base
 
     def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
         base = self.base

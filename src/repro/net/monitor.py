@@ -192,6 +192,69 @@ class TrafficMonitor:
     # generalization made the vectorized record the common case.
     record_fanout = record_multicast
 
+    def merge_from(self, other: "TrafficMonitor") -> None:
+        """Fold another monitor's accounting into this one, exactly.
+
+        Every counter in both structures is an integer, so the merge is
+        associative and bit-exact: merging the per-shard monitors of a
+        process-sharded run reproduces the single-process monitor as long
+        as each message was recorded on exactly one shard (sends record on
+        the sender's owner shard — see docs/sharding.md).
+        """
+        if other.bin_width != self.bin_width:
+            raise ValueError(
+                "cannot merge monitors with different bin widths "
+                f"({other.bin_width} vs {self.bin_width})"
+            )
+        node = self._node
+        for name, src_record in other._node.items():
+            mine = node.get(name)
+            if mine is None:
+                node[name] = [
+                    list(src_record[_TX_BINS]),
+                    {kind: list(acc) for kind, acc in src_record[_TX_KINDS].items()},
+                    dict(src_record[_TX_OVER]),
+                ]
+                continue
+            bins = mine[_TX_BINS]
+            theirs = src_record[_TX_BINS]
+            if len(theirs) > len(bins):
+                bins.extend([0] * (len(theirs) - len(bins)))
+            for index, size in enumerate(theirs):
+                if size:
+                    bins[index] += size
+            kinds = mine[_TX_KINDS]
+            for kind, (messages, size) in src_record[_TX_KINDS].items():
+                acc = kinds.get(kind)
+                if acc is None:
+                    kinds[kind] = [messages, size]
+                else:
+                    acc[0] += messages
+                    acc[1] += size
+            overflow = mine[_TX_OVER]
+            for index, size in src_record[_TX_OVER].items():
+                overflow[index] = overflow.get(index, 0) + size
+        for target, source in (
+            (self._rx_bins, other._rx_bins),
+            (self._rx_kinds, other._rx_kinds),
+        ):
+            for key, by_size in source.items():
+                mine_by_size = target.get(key)
+                if mine_by_size is None:
+                    target[key] = {
+                        size: dict(counts) for size, counts in by_size.items()
+                    }
+                    continue
+                for size, counts in by_size.items():
+                    mine_counts = mine_by_size.get(size)
+                    if mine_counts is None:
+                        mine_by_size[size] = dict(counts)
+                    else:
+                        for name, seen in counts.items():
+                            mine_counts[name] = mine_counts.get(name, 0) + seen
+        if other._last_time > self._last_time:
+            self._last_time = other._last_time
+
     @property
     def totals(self) -> TrafficTotals:
         """Whole-run totals, materialized lazily from the per-node records.

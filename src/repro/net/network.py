@@ -114,7 +114,7 @@ class Network:
         self.config = config or NetworkConfig()
         if self.config.bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
-        self._rng = streams.stream("network:latency")
+        self._streams = streams
         self._handlers: Dict[str, Handler] = {}
         self._uplink_free_at: Dict[str, float] = {}
         self._downlink_free_at: Dict[str, float] = {}
@@ -132,10 +132,26 @@ class Network:
         self._bandwidth = self.config.bandwidth
         self._overhead = self.config.envelope_overhead
         self._queue_min = self.config.downlink_queue_min_bytes
-        self._sample_latency = self.config.latency_model.bind(self._rng)
-        self._sample_latency_batch = self.config.latency_model.bind_batch(self._rng)
+        # Latency draws come from a *per-source* stream
+        # (``network:latency:<src>``), bound lazily on a node's first send.
+        # Keying the stream by sender is what makes the simulation
+        # shardable: a node's draw sequence depends only on its own event
+        # order, never on how other nodes' events interleave with it, so a
+        # shard that executes a subset of the nodes consumes each stream
+        # exactly as the single-process run does (see docs/sharding.md).
+        self._latency_model = self.config.latency_model
+        self._send_samplers: Dict[str, Callable[[str, str], float]] = {}
+        self._batch_samplers: Dict[str, Callable] = {}
         self._record = self.monitor.record
         self._record_multicast = self.monitor.record_multicast
+        # Process-sharded execution (repro.simulation.sharded): when a
+        # shard owns only a subset of the nodes, sends to foreign
+        # destinations compute their full physics here (monitor record,
+        # uplink reservation, latency draw) and are appended to the egress
+        # queue as plain records instead of being scheduled locally; the
+        # owning shard injects them at the next window barrier.
+        self._shard_owned: Optional[frozenset] = None
+        self._shard_egress: Optional[list] = None
         # Free lists for multicast delivery/arrival records. Each record's
         # last slot is the record itself, so the engine's ``callback(*rec)``
         # hands the callback its own record to reclaim — zero allocations
@@ -170,6 +186,56 @@ class Network:
     def set_drop_filter(self, drop: Optional[Callable[[str, str, Message], bool]]) -> None:
         """Install a message-drop predicate (fault injection / packet loss)."""
         self._drop_filter = drop
+
+    def _bind_latency(self, src: str) -> Callable[[str, str], float]:
+        """Create and cache the per-source latency samplers for ``src``.
+
+        Both the scalar and the batch sampler close over the *same*
+        ``random.Random``, so sends and multicasts from one source consume
+        its stream sequentially in call order — the per-source form of the
+        RNG-order contract (docs/networking.md).
+        """
+        rng = self._streams.stream(f"network:latency:{src}")
+        sampler = self._latency_model.bind(rng)
+        self._send_samplers[src] = sampler
+        self._batch_samplers[src] = self._latency_model.bind_batch(rng)
+        return sampler
+
+    def latency_rng(self, src: str):
+        """The raw per-source latency stream (tests probe its position)."""
+        if src not in self._send_samplers:
+            self._bind_latency(src)
+        return self._streams.stream(f"network:latency:{src}")
+
+    def enable_shard_egress(self, owned, egress: list) -> None:
+        """Put the network into sharded mode.
+
+        ``owned`` is the set of node names this shard executes; ``egress``
+        is the list that collects outbound cross-shard records. Records
+        are plain picklable tuples — ``("d", time, src, dst, message)``
+        for single-phase deliveries and ``("a", time, src, dst, message,
+        transfer)`` for two-phase (downlink-queued) arrivals — appended in
+        send order. The shard coordinator drains the list at every window
+        barrier and injects each record on the destination's owner shard
+        (:meth:`inject_shard_records`).
+        """
+        self._shard_owned = frozenset(owned)
+        self._shard_egress = egress
+
+    def inject_shard_records(self, records) -> None:
+        """Schedule cross-shard records received at a window barrier.
+
+        Records must be sorted by the coordinator's canonical order
+        (time, then source-shard id, then send order); scheduling them in
+        that order assigns consecutive sequence numbers, which fixes the
+        relative order of same-time injected events deterministically.
+        """
+        sim = self.sim
+        for rec in records:
+            if rec[0] == "d":
+                sim.schedule_call(rec[1], self._deliver, (rec[2], rec[3], rec[4]))
+            else:
+                sim.schedule_call(rec[1], self._arrive, (rec[2], rec[3], rec[4], rec[5]))
 
     def wire_size(self, message: Message) -> int:
         """Bytes on the wire: payload plus fixed envelope."""
@@ -207,7 +273,23 @@ class Network:
         free_at = uplink_free_at.get(src, 0.0)
         uplink_done = (free_at if free_at > now else now) + transfer
         uplink_free_at[src] = uplink_done
-        arrival = uplink_done + self._sample_latency(src, dst)
+        sample = self._send_samplers.get(src)
+        if sample is None:
+            sample = self._bind_latency(src)
+        arrival = uplink_done + sample(src, dst)
+        owned = self._shard_owned
+        if owned is not None and dst not in owned:
+            # Cross-shard: the full send-side physics (monitor record,
+            # uplink reservation, latency draw) happened above exactly as
+            # in a local send; the delivery itself is the destination
+            # shard's job. Two-phase copies hand over at their physical
+            # arrival so the receiver's downlink is reserved in merged
+            # arrival order on the owner shard.
+            if size < self._queue_min:
+                self._shard_egress.append(("d", arrival + transfer, src, dst, message))
+            else:
+                self._shard_egress.append(("a", arrival, src, dst, message, transfer))
+            return
         if size < self._queue_min:
             # Single-phase delivery through a pooled record, with the heap
             # push inlined (friend access, same pattern as the multicast
@@ -283,10 +365,13 @@ class Network:
         for dst in dsts:
             if dst == src:
                 raise ValueError(f"{src!r} attempted to send a message to itself")
-        if "send" in self.__dict__:
+        if "send" in self.__dict__ or self._shard_owned is not None:
             # ``send`` was wrapped by instance assignment (integration-test
-            # instrumentation): route every copy through the wrapper so it
-            # observes the fanout traffic.
+            # instrumentation), or the network runs in sharded mode: route
+            # every copy through ``send`` so the wrapper observes the
+            # fanout / foreign copies land on the egress queue. The
+            # per-copy loop is the definitional semantics of multicast, so
+            # physics and monitor accounting stay byte-identical.
             send = self.send
             for dst in dsts:
                 send(src, dst, message)
@@ -310,7 +395,11 @@ class Network:
         uplink_free_at = self._uplink_free_at
         free_at = uplink_free_at.get(src, 0.0)
         uplink_done = free_at if free_at > now else now
-        latencies = self._sample_latency_batch(src, dsts)
+        sample_batch = self._batch_samplers.get(src)
+        if sample_batch is None:
+            self._bind_latency(src)
+            sample_batch = self._batch_samplers[src]
+        latencies = sample_batch(src, dsts)
         two_phase = size >= self._queue_min
         if two_phase:
             pool = self._arrive_pool
@@ -397,7 +486,9 @@ class Network:
         kind = message.kind
         sim = self.sim
         record = self._record
-        sample = self._sample_latency
+        sample = self._send_samplers.get(src)
+        if sample is None:
+            sample = self._bind_latency(src)
         transfer = size / self._bandwidth
         queue_min = self._queue_min
         uplink_free_at = self._uplink_free_at
@@ -579,9 +670,26 @@ class Network:
         free_at = uplink_free_at.get(src, 0.0)
         uplink_done = (free_at if free_at > now else now) + transfer * len(recipients)
         uplink_free_at[src] = uplink_done
-        arrival = uplink_done + self._sample_latency(src, recipients[0]) + transfer
+        sample = self._send_samplers.get(src)
+        if sample is None:
+            sample = self._bind_latency(src)
+        arrival = uplink_done + sample(src, recipients[0]) + transfer
         if not arrival >= now:
             sim._reject_time(arrival)
+        owned = self._shard_owned
+        if owned is not None:
+            # Sharded mode: foreign recipients leave as single-phase
+            # records at the shared arrival (the aggregated path models no
+            # downlink queueing); local recipients keep the one batched
+            # delivery event.
+            local = [dst for dst in recipients if dst in owned]
+            egress = self._shard_egress
+            for dst in recipients:
+                if dst not in owned:
+                    egress.append(("d", arrival, src, dst, message))
+            if not local:
+                return
+            recipients = local
         # Inlined heap push (friend access), as in send()/multicast():
         # the background emitters call this once per period per peer.
         entry_pool = sim._pool

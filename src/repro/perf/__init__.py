@@ -16,10 +16,12 @@ Two concerns live here:
 
 from repro.perf.profile import (
     CoreBenchResult,
+    ShardScalingResult,
     SweepBenchResult,
     profile_core,
     run_core_benchmark,
     run_recovery_benchmark,
+    run_shard_scaling_benchmark,
     run_sweep_benchmark,
     write_bench_json,
 )
@@ -28,31 +30,35 @@ from repro.perf.regression import (
     GOLDEN_METRICS,
     GOLDEN_PATH,
     PR1_REFERENCE_METRICS,
+    SHARD_VARIANT_KEYS,
     check_determinism,
     check_event_reduction,
     check_reference_tolerance,
+    check_sharded_determinism,
     compare_bench,
     metric_snapshot,
-    recovery_metric_snapshot,
     update_golden,
 )
 
 __all__ = [
     "CoreBenchResult",
     "EVENT_REDUCTION_FLOOR",
+    "ShardScalingResult",
     "SweepBenchResult",
     "GOLDEN_METRICS",
     "GOLDEN_PATH",
     "PR1_REFERENCE_METRICS",
+    "SHARD_VARIANT_KEYS",
     "check_determinism",
     "check_event_reduction",
     "check_reference_tolerance",
+    "check_sharded_determinism",
     "compare_bench",
     "metric_snapshot",
     "profile_core",
-    "recovery_metric_snapshot",
     "run_core_benchmark",
     "run_recovery_benchmark",
+    "run_shard_scaling_benchmark",
     "run_sweep_benchmark",
     "update_golden",
     "write_bench_json",

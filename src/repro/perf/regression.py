@@ -43,11 +43,6 @@ import os
 from typing import Dict, List, Optional
 
 from repro.experiments.dissemination import DisseminationConfig, run_dissemination
-from repro.gossip.config import (
-    BackgroundTrafficConfig,
-    EnhancedGossipConfig,
-    OriginalGossipConfig,
-)
 
 GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden_metrics.json")
 
@@ -116,27 +111,34 @@ PR1_REFERENCE_METRICS: Dict[str, dict] = {
     },
 }
 
-# name -> zero-arg callable returning the scenario's metric snapshot.
+# golden key -> (registered scenario name, seed). Every golden resolves
+# through the scenario registry, so exactly the same declaration replays
+# single-process (check_determinism) and process-sharded
+# (check_sharded_determinism, --shards N).
 # The background scenario has no PR-1 counterpart; it pins the determinism
 # of the aggregated-emission path (wheel ticks, batched byte accounting).
 # The recovery scenario likewise has no PR-1 counterpart: it pins the
-# multicast fast path's guarded (fault-active) branches — crash drops,
-# state-info fanouts to dead peers, catch-up batches after recovery.
-# The wan-3-region scenario pins the declarative-scenario stack end to
-# end: region placement, the TopologyLatency pair resolution and its
-# bind/bind_batch RNG-order contract, and the multi-organization build.
-_SCENARIOS = {
-    "enhanced-n50-b6-seed1": lambda: metric_snapshot(
-        EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 1),
-    "enhanced-n50-b6-seed2": lambda: metric_snapshot(
-        EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 2),
-    "original-n30-b4-seed1": lambda: metric_snapshot(OriginalGossipConfig(), 30, 4, 1),
-    "enhanced-n50-b6-seed1-background": lambda: metric_snapshot(
-        EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2), 50, 6, 1,
-        background=BackgroundTrafficConfig()),
-    "recovery-crash-n50-b6-seed1": lambda: recovery_metric_snapshot(50, 6, 1),
-    "wan-3-region-seed1": lambda: _registered_scenario_snapshot("wan-3-region", 1),
+# fault-active branches — crash drops, state-info fanouts to dead peers,
+# catch-up batches after recovery. The wan-3-region scenario pins the
+# declarative-scenario stack end to end: region placement, the
+# TopologyLatency pair resolution and its bind/bind_batch RNG-order
+# contract, and the multi-organization build.
+_SCENARIOS: Dict[str, tuple] = {
+    "enhanced-n50-b6-seed1": ("golden-enhanced-50", 1),
+    "enhanced-n50-b6-seed2": ("golden-enhanced-50", 2),
+    "original-n30-b4-seed1": ("golden-original-30", 1),
+    "enhanced-n50-b6-seed1-background": ("golden-enhanced-50-bg", 1),
+    "recovery-crash-n50-b6-seed1": ("golden-recovery-crash", 1),
+    "wan-3-region-seed1": ("wan-3-region", 1),
 }
+
+# The engine-internal executed-event count is the one golden metric that
+# legitimately depends on the shard count: exact-tie delivery grouping
+# (shared slot-delivery events) is shard-local, so a fanout spanning
+# shards executes as more, smaller events while every delivery, byte and
+# latency stays identical. The sharded gate therefore compares every
+# golden key except this one. docs/sharding.md spells out the argument.
+SHARD_VARIANT_KEYS = frozenset({"events_executed"})
 
 
 def _registered_scenario_snapshot(name: str, seed: int) -> dict:
@@ -171,47 +173,6 @@ def metric_snapshot(
     return _snapshot_net(result.net, result.latency_summary())
 
 
-def recovery_metric_snapshot(n_peers: int, blocks: int, seed: int) -> dict:
-    """Run a crash-fault recovery scenario and snapshot its metrics.
-
-    A tenth of the regular peers (deterministically the first by name)
-    crash at t=2 s and recover at t=6 s; the run continues until every
-    peer holds every block, so the snapshot pins the recovery catch-up
-    traffic (state-info multicast fanouts, batched RecoveryResponses) and
-    the drop accounting of in-flight messages to crashed peers.
-    """
-    from repro.experiments.builders import build_network
-    from repro.experiments.workloads import synthetic_block_transactions
-    from repro.fabric.config import PeerConfig, ValidationMode
-
-    net = build_network(
-        n_peers=n_peers,
-        gossip=EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2),
-        seed=seed,
-        peer_config=PeerConfig(
-            per_tx_validation_time=0.004, validation_mode=ValidationMode.DELAY_ONLY
-        ),
-        background=BackgroundTrafficConfig(),
-    )
-    net.start()
-    for name in net.regular_peers()[: max(1, n_peers // 10)]:
-        peer = net.peers[name]
-        net.sim.schedule_at(2.0, peer.crash)
-        net.sim.schedule_at(6.0, peer.recover)
-    transactions = synthetic_block_transactions(50, 3_200)
-    for index in range(blocks):
-        net.sim.schedule_at((index + 1) * 1.5, net.orderer.emit_block, transactions)
-    workload_end = blocks * 1.5
-    net.run_until(
-        lambda: net.sim.now >= workload_end and net.all_peers_received(blocks),
-        step=1.0,
-        max_time=workload_end + 120.0,
-    )
-    snapshot = _snapshot_net(net, net.tracker.summary())
-    snapshot["dropped_messages"] = net.network.dropped_messages
-    return snapshot
-
-
 def _snapshot_net(net, stats) -> dict:
     totals = net.network.monitor.totals
     return {
@@ -228,17 +189,21 @@ def _snapshot_net(net, stats) -> dict:
 
 
 def _snapshot_scenario(name: str) -> dict:
-    return _SCENARIOS[name]()
+    scenario, seed = _SCENARIOS[name]
+    return _registered_scenario_snapshot(scenario, seed)
 
 
 def check_determinism(
     scenarios: Optional[Dict[str, tuple]] = None,
     golden: Optional[Dict[str, dict]] = None,
+    diff: Optional[List[dict]] = None,
 ) -> List[str]:
     """Replay the golden scenarios; return human-readable mismatches.
 
     An empty list means the current engine reproduces the committed golden
-    metrics bit-for-bit.
+    metrics bit-for-bit. When ``diff`` is given, each mismatch is also
+    appended to it as a structured record (scenario, key, golden, actual)
+    — the machine-readable payload CI uploads as a debugging artifact.
     """
     if scenarios is None:
         scenarios = _SCENARIOS
@@ -260,6 +225,81 @@ def check_determinism(
                 mismatches.append(
                     f"{name}: {key} diverged — golden {expected!r}, current {actual!r}"
                 )
+                if diff is not None:
+                    diff.append(
+                        {"scenario": name, "key": key, "golden": expected, "actual": actual}
+                    )
+    return mismatches
+
+
+def check_sharded_determinism(
+    shards: int = 2,
+    mode: str = "auto",
+    scenarios: Optional[Dict[str, tuple]] = None,
+    golden: Optional[Dict[str, dict]] = None,
+    diff: Optional[List[dict]] = None,
+) -> List[str]:
+    """Replay the golden scenarios process-sharded; return mismatches.
+
+    Every golden metric except :data:`SHARD_VARIANT_KEYS` must reproduce
+    the committed values bit-for-bit under ``--shards N`` — the merged
+    delivery physics, traffic accounting and latency statistics of the
+    sharded run are exactly those of the single-process run. A plan that
+    silently degrades to single-process execution is itself a failure:
+    the gate's job is to exercise the sharded path, and a forced fallback
+    would otherwise let it go green while testing nothing sharded.
+    """
+    from repro.scenarios.sharded import run_scenario_sharded
+
+    if scenarios is None:
+        scenarios = _SCENARIOS
+    if golden is None:
+        golden = GOLDEN_METRICS
+    mismatches: List[str] = []
+    for name in scenarios:
+        expected_metrics = golden.get(name)
+        if expected_metrics is None:
+            mismatches.append(f"{name}: no golden metrics committed")
+            continue
+        scenario, seed = scenarios[name]
+        run = run_scenario_sharded(scenario, seed=seed, shards=shards, mode=mode)
+        if shards > 1 and run.plan.shards <= 1:
+            mismatches.append(
+                f"{name} [shards={shards}]: plan degraded to single-process "
+                f"execution ({run.plan.forced_reason or 'no reason recorded'}) "
+                "— the sharded gate exercised nothing sharded"
+            )
+            if diff is not None:
+                diff.append(
+                    {
+                        "scenario": name,
+                        "shards": shards,
+                        "key": "plan",
+                        "golden": "sharded execution",
+                        "actual": run.plan.forced_reason or "single-process",
+                    }
+                )
+            continue
+        current = run.snapshot()
+        for key, expected in expected_metrics.items():
+            if key in SHARD_VARIANT_KEYS:
+                continue
+            actual = current.get(key)
+            if actual != expected:
+                mismatches.append(
+                    f"{name} [shards={shards}]: {key} diverged — "
+                    f"golden {expected!r}, sharded {actual!r}"
+                )
+                if diff is not None:
+                    diff.append(
+                        {
+                            "scenario": name,
+                            "shards": shards,
+                            "key": key,
+                            "golden": expected,
+                            "actual": actual,
+                        }
+                    )
     return mismatches
 
 

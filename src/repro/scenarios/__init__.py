@@ -13,7 +13,10 @@ matrices in parallel:
 * :mod:`repro.scenarios.runner` — spec → network build (region-aware
   latency), fault compilation, deterministic run, metric snapshot;
 * :mod:`repro.scenarios.sweep` — :class:`SweepRunner`: scenario × seed
-  fan-out over worker processes with a byte-deterministic merge.
+  fan-out over worker processes with a byte-deterministic merge;
+* :mod:`repro.scenarios.sharded` — one scenario run partitioned across
+  shard worker processes under the conservative window protocol of
+  :mod:`repro.simulation.sharded`, merged bit-for-bit (docs/sharding.md).
 """
 
 from repro.scenarios.registry import (
@@ -21,6 +24,11 @@ from repro.scenarios.registry import (
     iter_scenarios,
     register,
     scenario_names,
+)
+from repro.scenarios.sharded import (
+    ShardedScenarioRun,
+    run_scenario_sharded,
+    sharded_scenario_snapshot,
 )
 from repro.scenarios.runner import (
     ScenarioRun,
@@ -41,6 +49,7 @@ __all__ = [
     "RegionTopology",
     "ScenarioRun",
     "ScenarioSpec",
+    "ShardedScenarioRun",
     "SweepReport",
     "SweepRunner",
     "WorkloadSpec",
@@ -50,6 +59,8 @@ __all__ = [
     "merge_runs",
     "register",
     "run_scenario",
+    "run_scenario_sharded",
     "scenario_names",
     "scenario_snapshot",
+    "sharded_scenario_snapshot",
 ]

@@ -130,6 +130,50 @@ register(ScenarioSpec(
 ))
 
 # --------------------------------------------------------------------------
+# Golden determinism scenarios: the exact runs whose metric snapshots are
+# committed in src/repro/perf/golden_metrics.json and replayed bit-for-bit
+# by the determinism gate — single-process AND sharded (--shards 2/4).
+# Registering them makes every golden reachable by name from sweep workers
+# and shard workers alike; repro.perf.regression maps golden keys here.
+# --------------------------------------------------------------------------
+
+register(ScenarioSpec(
+    name="golden-enhanced-50",
+    description="Determinism golden: enhanced f4, 50 peers, 6 blocks, no background",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=50,
+    workload=WorkloadSpec(blocks=6, idle_tail=0.0),
+    seeds=(1, 2),
+))
+
+register(ScenarioSpec(
+    name="golden-enhanced-50-bg",
+    description="Determinism golden: enhanced f4, 50 peers, aggregated background",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=50,
+    background=True,
+    workload=WorkloadSpec(blocks=6, idle_tail=0.0),
+))
+
+register(ScenarioSpec(
+    name="golden-original-30",
+    description="Determinism golden: original module, 30 peers, 4 blocks",
+    gossip=OriginalGossipConfig,
+    n_peers=30,
+    workload=WorkloadSpec(blocks=4, idle_tail=0.0),
+))
+
+register(ScenarioSpec(
+    name="golden-recovery-crash",
+    description="Determinism golden: 5 of 50 peers crash t=2..6 s, recovery catch-up",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=50,
+    background=True,
+    faults=(CrashEvent(at=2.0, recover_at=6.0, regular_slice=(0, 5)),),
+    workload=WorkloadSpec(blocks=6, idle_tail=0.0, grace_period=120.0),
+))
+
+# --------------------------------------------------------------------------
 # WAN / fault scenarios: deployments the paper's testbed could not express.
 # --------------------------------------------------------------------------
 

@@ -1,0 +1,453 @@
+"""Run one declarative scenario sharded across worker processes.
+
+This is the scenario-aware half of the process-sharding subsystem: the
+generic window protocol, shard planning and transports live in
+:mod:`repro.simulation.sharded`; this module knows how to build one
+shard's view of a scenario deployment (full deterministic construction,
+partitioned *execution*), how to exchange cross-shard deliveries, and how
+to merge per-shard results into the exact snapshot a single-process
+:func:`~repro.scenarios.runner.run_scenario` produces.
+
+Replicated state, partitioned execution
+---------------------------------------
+
+Every worker builds the *entire* deployment from ``(spec, seed)`` — the
+construction is deterministic and RNG-stream creation is order-free, so
+all workers hold identical initial state. A shard then *executes* only
+its owned nodes: only owned peers' timers are armed, the orderer's block
+driver runs on the orderer's owner shard, and sends to foreign
+destinations are captured by the network's egress queue
+(:meth:`~repro.net.network.Network.enable_shard_egress`) after their full
+send-side physics, to be injected on the destination's shard at the next
+window barrier. Foreign peers' message handlers are replaced with guards
+that raise — a mis-routed delivery is a bug, never silent corruption.
+
+Crash events are applied globally (every shard must see the disconnect
+flags that drop traffic to a dead peer at send time) but only the owner
+shard runs the peer's full ``crash()``/``recover()`` lifecycle.
+Degrade faults draw from a global RNG stream, so scenarios using them
+force single-process execution (the plan says why).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.experiments.builders import (
+    build_network,
+    node_region_placement,
+    organization_members,
+)
+from repro.fabric.config import PeerConfig, ValidationMode
+from repro.experiments.workloads import synthetic_block_transactions
+from repro.faults.injectors import CrashSchedule, PartitionFault
+from repro.faults.schedule import (
+    CrashEvent,
+    DegradeEvent,
+    PartitionEvent,
+    _resolve_crash_peers,
+    _resolve_islands,
+)
+from repro.metrics.latency import DisseminationTracker
+from repro.net.monitor import TrafficMonitor
+from repro.net.network import NetworkConfig
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import dissemination_config, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.sharded import (
+    InlineTransport,
+    PipeTransport,
+    ShardPlan,
+    WindowedCoordinator,
+    plan_shards,
+)
+
+_ERROR_SENTINEL = "__shard_error__"
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; carries the remote traceback text."""
+
+
+def plan_for(
+    spec: ScenarioSpec, shards: int, seed: int = 1, full: bool = False
+) -> ShardPlan:
+    """The shard plan a scenario resolves to (deterministic per input).
+
+    Both the coordinator and every worker call this and must agree, which
+    they do because the node list, the region placement and the latency
+    model parameters all derive from the frozen spec alone.
+    """
+    if shards <= 1:
+        return ShardPlan(shards=1)
+    if any(isinstance(event, DegradeEvent) for event in spec.faults):
+        return ShardPlan(
+            shards=1,
+            forced_reason=(
+                "degrade faults draw from the global 'faults:degrade' stream, "
+                "whose order a partition cannot preserve"
+            ),
+        )
+    config = dissemination_config(spec, seed=seed, full=full)
+    org_members = organization_members(config.n_peers, config.organizations)
+    nodes = [name for members in org_members.values() for name in members]
+    nodes.append("orderer")
+    regions: Optional[Dict[str, str]] = None
+    if config.org_regions:
+        regions = node_region_placement(
+            org_members, config.org_regions, config.orderer_region
+        )
+    model = (config.network or NetworkConfig()).latency_model
+    # Aggregated background fanouts (send_aggregate) share a single
+    # latency draw that can come from the source's *fastest* link, so the
+    # tight cross-region lookahead is unsound for them — fall back to the
+    # model's global minimum delay whenever background traffic is armed.
+    return plan_shards(
+        nodes,
+        shards,
+        regions=regions,
+        latency_model=model,
+        region_lookahead=config.background is None,
+    )
+
+
+@dataclass
+class ShardResult:
+    """One shard's contribution to the merged run (picklable)."""
+
+    shard_id: int
+    events_executed: int
+    final_time: float
+    monitor: TrafficMonitor
+    tracker: DisseminationTracker
+    dropped_messages: int
+    blocks_via_recovery: int
+
+
+def _foreign_handler(name: str, shard_id: int):
+    def guard(src, message):
+        raise AssertionError(
+            f"shard {shard_id} executed a delivery for foreign node {name!r} "
+            f"(from {src!r}) — cross-shard routing bug"
+        )
+
+    return guard
+
+
+class ShardSession:
+    """One shard's live half of a sharded scenario run."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: int,
+        plan: ShardPlan,
+        shard_id: int,
+        full: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.plan = plan
+        self.shard_id = shard_id
+        config = dissemination_config(spec, seed=seed, full=full)
+        self.config = config
+        self.workload_end = config.blocks * config.block_period
+        net = build_network(
+            n_peers=config.n_peers,
+            gossip=config.gossip,
+            seed=config.seed,
+            organizations=config.organizations,
+            network_config=config.network,
+            peer_config=PeerConfig(
+                per_tx_validation_time=config.per_tx_validation_time,
+                validation_mode=ValidationMode.DELAY_ONLY,
+            ),
+            background=config.background,
+            org_regions=config.org_regions,
+            orderer_region=config.orderer_region,
+        )
+        self.net = net
+        owned = frozenset(plan.owned_by(shard_id))
+        self.owned = owned
+        self.owned_peers = [name for name in net.peers if name in owned]
+        self._egress: List[tuple] = []
+        net.network.enable_shard_egress(owned, self._egress)
+        for name in net.peers:
+            if name not in owned:
+                net.network._handlers[name] = _foreign_handler(name, shard_id)
+        if "orderer" not in owned:
+            net.network._handlers["orderer"] = _foreign_handler("orderer", shard_id)
+        self._arm_faults()
+        for name in self.owned_peers:
+            net.peers[name].start()
+        if "orderer" in owned:
+            transactions = synthetic_block_transactions(
+                config.tx_per_block, config.tx_size
+            )
+            for index in range(config.blocks):
+                net.sim.schedule_at(
+                    (index + 1) * config.block_period,
+                    net.orderer.emit_block,
+                    transactions,
+                )
+
+    def _arm_faults(self) -> None:
+        net = self.net
+        sim = net.sim
+        owned = self.owned
+        for event in self.spec.faults:
+            if isinstance(event, CrashEvent):
+                for name in _resolve_crash_peers(event, net):
+                    if name in owned:
+                        CrashSchedule(
+                            net.peers[name],
+                            crash_at=event.at,
+                            recover_at=event.recover_at,
+                        ).arm(sim)
+                    else:
+                        # Foreign crash: every shard needs the network-level
+                        # disconnect flags (sends to a dead peer drop at
+                        # send time, on the sender's shard); the peer's
+                        # full lifecycle runs only on its owner shard.
+                        sim.schedule_at(
+                            event.at, net.network.set_disconnected, name, True
+                        )
+                        if event.recover_at is not None:
+                            sim.schedule_at(
+                                event.recover_at,
+                                net.network.set_disconnected,
+                                name,
+                                False,
+                            )
+            elif isinstance(event, PartitionEvent):
+                fault = PartitionFault(
+                    net.network, _resolve_islands(event, net), active=False
+                )
+                sim.schedule_at(event.at, fault.activate)
+                if event.heal_at is not None:
+                    sim.schedule_at(event.heal_at, fault.heal)
+            else:
+                raise ShardWorkerError(
+                    f"fault event {type(event).__name__} cannot run sharded "
+                    "(the plan should have forced shards=1)"
+                )
+
+    # ----- command handling (shared by inline and process transports) ----
+
+    def handle(self, command):
+        op, time, records = command
+        if op == "window":
+            if records:
+                self.net.network.inject_shard_records(records)
+            self.net.sim.run_window(time)
+            return self._drain(), self._local_done()
+        if op == "tick":
+            if records:
+                self.net.network.inject_shard_records(records)
+            self.net.sim.run(until=time)
+            return self._drain(), self._local_done()
+        if op == "collect":
+            return self.result()
+        raise ShardWorkerError(f"unknown shard command {op!r}")
+
+    def _drain(self) -> List[tuple]:
+        batch = list(self._egress)
+        self._egress.clear()
+        return batch
+
+    def _local_done(self) -> bool:
+        if self.net.sim.now < self.workload_end:
+            return False
+        block_count = self.config.blocks
+        for name in self.owned_peers:
+            chain = self.net.peers[name].blockchain
+            if chain.max_known_number() < block_count - 1:
+                return False
+            if chain.missing_ranges(block_count):
+                return False
+        return True
+
+    def result(self) -> ShardResult:
+        net = self.net
+        return ShardResult(
+            shard_id=self.shard_id,
+            events_executed=net.sim.events_executed,
+            final_time=net.sim.now,
+            monitor=net.network.monitor,
+            tracker=net.tracker,
+            dropped_messages=net.network.dropped_messages,
+            blocks_via_recovery=sum(
+                net.peers[name].blocks_received_via.get("recovery", 0)
+                for name in self.owned_peers
+            ),
+        )
+
+
+def _shard_worker_main(conn, spec, seed, shards, shard_id, full) -> None:
+    """Process-mode worker loop: build the session, serve commands."""
+    try:
+        plan = plan_for(spec, shards, seed=seed, full=full)
+        session = ShardSession(spec, seed, plan, shard_id, full=full)
+        while True:
+            command = conn.recv()
+            if command[0] == "exit":
+                return
+            conn.send(session.handle(command))
+    except EOFError:
+        return
+    except BaseException:
+        import traceback
+
+        try:
+            conn.send((_ERROR_SENTINEL, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+class _CheckedPipeTransport(PipeTransport):
+    def collect_response(self):
+        response = super().collect_response()
+        if isinstance(response, tuple) and response and response[0] == _ERROR_SENTINEL:
+            raise ShardWorkerError(response[1])
+        return response
+
+
+def merge_shard_results(
+    spec: ScenarioSpec, seed: int, results: Sequence[ShardResult]
+) -> dict:
+    """Merge per-shard results into a single-process-shaped snapshot.
+
+    Identical to :meth:`repro.scenarios.runner.ScenarioRun.snapshot` for
+    every physics metric; ``events_executed`` is the merged sum of the
+    per-shard engine counters, which legitimately differs from the
+    single-process count (exact-tie delivery grouping is shard-local —
+    see docs/sharding.md).
+    """
+    ordered = sorted(results, key=lambda result: result.shard_id)
+    final_times = {result.final_time for result in ordered}
+    if len(final_times) != 1:
+        raise ShardWorkerError(f"shards ended at different times: {sorted(final_times)}")
+    monitor = ordered[0].monitor
+    tracker = ordered[0].tracker
+    for result in ordered[1:]:
+        monitor.merge_from(result.monitor)
+        tracker.merge_from(result.tracker)
+    stats = tracker.summary()
+    totals = monitor.totals
+    return {
+        "scenario": spec.name,
+        "seed": seed,
+        "events_executed": sum(result.events_executed for result in ordered),
+        "final_time": ordered[0].final_time,
+        "latency_max": stats.maximum,
+        "latency_mean": stats.mean,
+        "latency_p50": stats.p50,
+        "latency_p95": stats.p95,
+        "total_bytes": totals.bytes,
+        "total_messages": totals.messages,
+        "by_kind_bytes": dict(sorted(totals.by_kind_bytes.items())),
+        "dropped_messages": sum(result.dropped_messages for result in ordered),
+        "blocks_via_recovery": sum(result.blocks_via_recovery for result in ordered),
+    }
+
+
+@dataclass
+class ShardedScenarioRun:
+    """Outcome of one sharded scenario run for one seed."""
+
+    spec: ScenarioSpec
+    seed: int
+    plan: ShardPlan
+    mode: str
+    _snapshot: dict = field(repr=False)
+
+    def snapshot(self) -> dict:
+        return self._snapshot
+
+
+def run_scenario_sharded(
+    scenario: Union[str, ScenarioSpec],
+    seed: Optional[int] = None,
+    shards: Optional[int] = None,
+    mode: str = "auto",
+    full: bool = False,
+) -> ShardedScenarioRun:
+    """Build, partition and drive one scenario run across shard workers.
+
+    Args:
+        scenario: registered name or spec.
+        seed: defaults to the spec's first seed.
+        shards: worker count; defaults to the spec's ``shards`` field.
+            Plans that cannot hold the lookahead guarantee fall back to
+            single-process execution (the returned plan says why).
+        mode: ``"processes"`` (one OS process per shard), ``"inline"``
+            (all shards stepped in one process — same protocol, same
+            results, no parallelism), or ``"auto"`` (processes when the
+            platform has fork or spawn, else inline).
+        full: run the spec's paper-scale workload.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if seed is None:
+        seed = spec.seeds[0]
+    if shards is None:
+        shards = spec.shards
+    plan = plan_for(spec, shards, seed=seed, full=full)
+    if plan.shards == 1:
+        run = run_scenario(spec, seed=seed, full=full)
+        return ShardedScenarioRun(
+            spec=spec, seed=seed, plan=plan, mode="single", _snapshot=run.snapshot()
+        )
+    config = dissemination_config(spec, seed=seed, full=full)
+    workload_end = config.blocks * config.block_period
+    deadline = workload_end + config.grace_period
+    if mode == "auto":
+        mode = "processes"
+    if mode == "inline":
+        transports = [
+            InlineTransport(ShardSession(spec, seed, plan, shard_id, full=full))
+            for shard_id in range(plan.shards)
+        ]
+    elif mode == "processes":
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        transports = []
+        for shard_id in range(plan.shards):
+            parent, child = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child, spec, seed, shards, shard_id, full),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            transports.append(_CheckedPipeTransport(parent, process))
+    else:
+        raise ValueError(f"unknown sharded mode {mode!r}")
+    coordinator = WindowedCoordinator(
+        transports,
+        plan,
+        workload_end=workload_end,
+        deadline=deadline,
+        idle_tail=config.idle_tail,
+    )
+    try:
+        coordinator.run()
+        results = coordinator.collect()
+    finally:
+        coordinator.close()
+    snapshot = merge_shard_results(spec, seed, results)
+    return ShardedScenarioRun(
+        spec=spec, seed=seed, plan=plan, mode=mode, _snapshot=snapshot
+    )
+
+
+def sharded_scenario_snapshot(
+    name: str, seed: int = 1, shards: int = 2, mode: str = "auto"
+) -> dict:
+    """Sharded counterpart of :func:`repro.scenarios.runner.
+    scenario_snapshot`; the hook the sharded determinism gate uses."""
+    return run_scenario_sharded(name, seed=seed, shards=shards, mode=mode).snapshot()

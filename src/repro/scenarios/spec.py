@@ -130,6 +130,10 @@ class ScenarioSpec:
         faults: declarative fault events, compiled per run.
         seeds: default seed list for sweeps.
         per_tx_validation_time: validation cost per transaction.
+        shards: default worker-process count for sharded execution
+            (``repro.scenarios.sharded``); 1 means single-process. The
+            executor may still fall back to 1 when the deployment cannot
+            honor the window lookahead (see docs/sharding.md).
     """
 
     name: str
@@ -145,12 +149,15 @@ class ScenarioSpec:
     faults: Tuple[FaultEvent, ...] = ()
     seeds: Tuple[int, ...] = (1,)
     per_tx_validation_time: float = 0.004
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario needs a name")
         if self.n_peers < 2 or not 1 <= self.organizations <= self.n_peers:
             raise ValueError("invalid peer/organization counts")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if self.placement is not None and self.topology is None:
             raise ValueError("placement given without a topology")
         if self.topology is not None:

@@ -407,6 +407,65 @@ class Simulator:
         """Run until the queue is empty or ``max_time`` is reached."""
         return self.run(until=max_time)
 
+    def run_window(self, end: float) -> float:
+        """Execute every event with time **strictly below** ``end``, then
+        advance the clock to exactly ``end``.
+
+        This is the conservative-window hook of the process-sharded
+        executor (:mod:`repro.simulation.sharded`): a shard runs the
+        half-open window ``[now, end)``, leaving events at exactly ``end``
+        pending, so that cross-shard records injected at the barrier —
+        whose times are ``>= end`` by the lookahead guarantee — can still
+        be scheduled (``now`` never passes them) and order among the
+        window-edge events by scheduling sequence. Contrast :meth:`run`,
+        whose ``until`` bound is inclusive.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        if end < self._now:
+            raise SimulationError(
+                f"cannot run a window ending at t={end} before current time t={self._now}"
+            )
+        self._running = True
+        executed = 0
+        heappop = _heappop
+        pool = self._pool
+        heap = self._heap
+        try:
+            while heap:
+                entry = heap[0]
+                callback = entry[2]
+                if callback is None:
+                    heappop(heap)
+                    self._stale -= 1
+                    if len(pool) < _ENTRY_POOL_MAX:
+                        pool.append(entry)
+                    continue
+                event_time = entry[0]
+                if event_time >= end:
+                    break
+                heappop(heap)
+                self._now = event_time
+                args = entry[3]
+                handle = entry[4]
+                if handle is not None:
+                    handle._fired = True
+                    handle._entry = None
+                entry[2] = None
+                entry[3] = None
+                entry[4] = None
+                if len(pool) < _ENTRY_POOL_MAX:
+                    pool.append(entry)
+                executed += 1
+                callback(*args)
+                heap = self._heap  # _compact() may swap the list object
+            self._now = end
+            return self._now
+        finally:
+            self._events_executed += executed
+            self._live -= executed
+            self._running = False
+
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
         if self._running:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.conflicts import ConflictExperimentConfig, run_conflict_experiment
-from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
+from repro.gossip.config import EnhancedGossipConfig
 
 
 @pytest.fixture(scope="module")

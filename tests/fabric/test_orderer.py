@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fabric.config import OrdererConfig
-from repro.fabric.messages import OrdererBlock, SubmitTransaction
+from repro.fabric.messages import SubmitTransaction
 from repro.fabric.orderer import OrderingService
 from repro.ledger.rwset import ReadWriteSet
 from repro.ledger.transaction import TransactionProposal

@@ -1,13 +1,10 @@
 """End-to-end integration: full client → endorse → order → gossip →
 validate pipeline, plus crash/recovery and adversarial scenarios."""
 
-import pytest
 
 from repro.experiments.builders import build_network
 from repro.experiments.conflicts import ConflictExperimentConfig, run_conflict_experiment
 from repro.faults.injectors import CrashSchedule, SilentPeerFault
-from repro.fabric.chaincode import CounterIncrementChaincode
-from repro.fabric.client import Client
 from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
 
 from tests.conftest import make_transactions

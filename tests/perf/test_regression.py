@@ -16,6 +16,37 @@ def test_determinism_contract_holds():
     assert check_determinism() == []
 
 
+def test_sharded_determinism_contract_holds_on_subset():
+    """A cheap tier-1 slice of the sharded golden gate: one LAN golden and
+    the WAN golden replay bit-for-bit across 2 shard workers (CI runs the
+    full set at shards=4 via perf_gate --determinism-only --shards 4)."""
+    from repro.perf import check_sharded_determinism
+    from repro.perf.regression import _SCENARIOS
+
+    subset = {
+        name: _SCENARIOS[name]
+        for name in ("enhanced-n50-b6-seed1", "wan-3-region-seed1")
+    }
+    assert check_sharded_determinism(shards=2, mode="inline", scenarios=subset) == []
+
+
+def test_determinism_diff_records_structured_mismatches():
+    """A golden perturbation surfaces as a structured diff record (the
+    payload CI uploads as an artifact)."""
+    from repro.perf.regression import GOLDEN_METRICS
+
+    perturbed = {name: dict(metrics) for name, metrics in GOLDEN_METRICS.items()}
+    name = "original-n30-b4-seed1"
+    perturbed[name]["total_messages"] = -1
+    diff = []
+    subset = {name: ("golden-original-30", 1)}
+    mismatches = check_determinism(scenarios=subset, golden=perturbed, diff=diff)
+    assert mismatches and diff
+    assert diff[0]["scenario"] == name
+    assert diff[0]["key"] == "total_messages"
+    assert diff[0]["golden"] == -1
+
+
 def test_metric_snapshot_is_reproducible():
     gossip = EnhancedGossipConfig(fout=4, ttl=9, ttl_direct=2)
     first = metric_snapshot(gossip, 20, 3, seed=7)

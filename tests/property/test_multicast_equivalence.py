@@ -132,7 +132,7 @@ def test_multicast_equals_naive_send_loop(
     seed=st.integers(min_value=1, max_value=4),
 )
 def test_multicast_rng_stream_matches_send_loop(dsts, seed):
-    """The RNG-order contract: after a fanout, the network's latency
+    """The RNG-order contract: after a fanout, the sender's latency
     stream must sit at exactly the same position as after a send loop, so
     subsequent traffic draws identical latencies."""
     outcomes = {}
@@ -147,5 +147,5 @@ def test_multicast_rng_stream_matches_send_loop(dsts, seed):
             for dst in dsts:
                 network.send("n0", dst, message)
         # A probe draw after the fanout exposes the stream position.
-        outcomes[mode] = network._rng.random()
+        outcomes[mode] = network.latency_rng("n0").random()
     assert outcomes["multicast"] == outcomes["loop"]

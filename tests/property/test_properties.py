@@ -18,7 +18,7 @@ from repro.metrics.bandwidth import aggregate_series
 from repro.metrics.latency import percentile
 from repro.metrics.probability_plot import logistic_probability_points, logit
 from repro.simulation.engine import Simulator
-from repro.simulation.random import RandomStreams, sample_without
+from repro.simulation.random import sample_without
 
 from tests.conftest import make_chain
 

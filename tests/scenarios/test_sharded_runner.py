@@ -1,0 +1,263 @@
+"""Tests for the scenario-level sharded executor, its forced fallbacks,
+the merge primitives, the CLI plumbing and the perf-gate flags."""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.schedule import DegradeEvent
+from repro.gossip.config import EnhancedGossipConfig
+from repro.metrics.latency import DisseminationTracker
+from repro.net.monitor import TrafficMonitor
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.sharded import (
+    ShardSession,
+    merge_shard_results,
+    plan_for,
+    run_scenario_sharded,
+)
+from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+
+
+def _tiny_spec(**overrides):
+    defaults = dict(
+        name="tiny-sharded",
+        description="test spec",
+        gossip=EnhancedGossipConfig.paper_f4,
+        n_peers=12,
+        workload=WorkloadSpec(blocks=2, idle_tail=0.0),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def test_spec_shards_field_validates():
+    spec = _tiny_spec(shards=4)
+    assert spec.shards == 4
+    with pytest.raises(ValueError):
+        _tiny_spec(shards=0)
+
+
+def test_plan_for_lan_scenario_round_robins_peers():
+    plan = plan_for(_tiny_spec(), shards=3)
+    assert plan.shards == 3
+    assert len(plan.owner_of) == 13  # 12 peers + orderer
+    assert plan.lookahead == pytest.approx(0.012)
+
+
+def test_plan_for_degrade_faults_forces_single():
+    spec = _tiny_spec(faults=(DegradeEvent(at=1.0, restore_at=2.0),))
+    plan = plan_for(spec, shards=4)
+    assert plan.shards == 1
+    assert "faults:degrade" in plan.forced_reason
+
+
+def test_plan_for_wan_scenario_is_region_aligned():
+    spec = get_scenario("wan-3-region")
+    plan = plan_for(spec, shards=3)
+    assert plan.shards == 3
+    # Peers of one organization (= one region) share a shard.
+    owners = {plan.owner_of[f"peer-{i}"] for i in range(0, 24, 3)}  # org0
+    assert len(owners) == 1
+
+
+def test_run_scenario_sharded_falls_back_to_single():
+    spec = _tiny_spec(faults=(DegradeEvent(at=1.0, restore_at=2.0),))
+    run = run_scenario_sharded(spec, seed=1, shards=4, mode="inline")
+    assert run.mode == "single"
+    assert run.plan.forced_reason
+    assert run.snapshot()["total_messages"] > 0
+
+
+def test_run_scenario_sharded_uses_spec_default_shards():
+    run = run_scenario_sharded(_tiny_spec(shards=2), seed=1, mode="inline")
+    assert run.plan.shards == 2
+
+
+def test_sharded_snapshot_matches_single_for_tiny_spec():
+    from repro.scenarios.runner import run_scenario
+
+    spec = _tiny_spec()
+    single = run_scenario(spec, seed=3).snapshot()
+    snap = run_scenario_sharded(spec, seed=3, shards=2, mode="inline").snapshot()
+    for key, value in single.items():
+        if key == "events_executed":
+            continue
+        assert snap[key] == value, key
+
+
+def test_shard_session_rejects_foreign_delivery():
+    spec = _tiny_spec()
+    plan = plan_for(spec, shards=2)
+    session = ShardSession(spec, 1, plan, shard_id=0)
+    foreign = next(
+        name for name in session.net.peers if name not in session.owned
+    )
+    with pytest.raises(AssertionError, match="foreign"):
+        session.net.network._handlers[foreign]("peer-x", object())
+
+
+def test_merge_requires_matching_final_times():
+    spec = _tiny_spec()
+    plan = plan_for(spec, shards=2)
+    a = ShardSession(spec, 1, plan, shard_id=0).result()
+    b = ShardSession(spec, 1, plan, shard_id=1).result()
+    b.final_time = 99.0
+    from repro.scenarios.sharded import ShardWorkerError
+
+    with pytest.raises(ShardWorkerError, match="different times"):
+        merge_shard_results(spec, 1, [a, b])
+
+
+def test_sharded_gate_flags_forced_single_plans():
+    """A golden whose plan degrades to single-process must FAIL the
+    sharded gate — a silent fallback would let CI go green while
+    exercising nothing sharded."""
+    from repro.perf import check_sharded_determinism
+
+    spec = _tiny_spec(faults=(DegradeEvent(at=1.0, restore_at=2.0),))
+    diff = []
+    mismatches = check_sharded_determinism(
+        shards=4,
+        mode="inline",
+        scenarios={"forced-single": (spec, 1)},
+        golden={"forced-single": {"total_messages": 1}},
+        diff=diff,
+    )
+    assert mismatches and "degraded to single-process" in mismatches[0]
+    assert diff and diff[0]["key"] == "plan"
+
+
+def test_placement_helpers_shared_with_builders():
+    """The shard planner derives node placement from the same helpers the
+    builder uses, so the two can never silently diverge."""
+    from repro.experiments.builders import (
+        build_network,
+        node_region_placement,
+        organization_members,
+    )
+
+    org_members = organization_members(9, 3)
+    assert org_members["org1"] == ["peer-1", "peer-4", "peer-7"]
+    placement = node_region_placement(
+        org_members, {"org0": "eu", "org1": "us", "org2": "eu"}
+    )
+    assert placement["peer-4"] == "us"
+    assert placement["orderer"] == "eu"  # sorted-first default
+    net = build_network(
+        n_peers=9,
+        gossip=EnhancedGossipConfig.paper_f4(),
+        organizations=3,
+        org_regions={"org0": "eu", "org1": "us", "org2": "eu"},
+    )
+    assert net.network.regions == placement
+    with pytest.raises(ValueError, match="without a region placement"):
+        node_region_placement(org_members, {"org0": "eu"})
+
+
+# ----- merge primitives ----------------------------------------------------
+
+
+def test_traffic_monitor_merge_is_exact():
+    """Recording split across two monitors and merged equals recording
+    everything into one — bins, kinds, rx side and totals."""
+    whole = TrafficMonitor()
+    part_a = TrafficMonitor()
+    part_b = TrafficMonitor()
+    records = [
+        (0.5, "a", "b", "X", 100),
+        (0.7, "b", "a", "Y", 2_000),
+        (1.2, "a", "c", "X", 300),
+        (5_000.5, "c", "a", "Z", 7),  # sparse overflow path
+    ]
+    for index, (time, src, dst, kind, size) in enumerate(records):
+        whole.record(time, src, dst, kind, size)
+        (part_a if index % 2 == 0 else part_b).record(time, src, dst, kind, size)
+    whole.record_multicast(2.0, "a", ["b", "c"], "M", 50)
+    part_a.record_multicast(2.0, "a", ["b", "c"], "M", 50)
+    part_a.merge_from(part_b)
+    merged = part_a
+    assert merged.totals.__dict__ == whole.totals.__dict__
+    for node in whole.nodes():
+        assert merged.series(node, "tx") == whole.series(node, "tx")
+        assert merged.series(node, "rx") == whole.series(node, "rx")
+        assert merged.node_totals(node).__dict__ == whole.node_totals(node).__dict__
+    assert merged.last_time == whole.last_time
+
+
+def test_traffic_monitor_merge_rejects_mismatched_bins():
+    with pytest.raises(ValueError, match="bin width"):
+        TrafficMonitor(bin_width=1.0).merge_from(TrafficMonitor(bin_width=2.0))
+
+
+def test_tracker_merge_reproduces_single_tracker():
+    whole = DisseminationTracker()
+    part_a = DisseminationTracker()
+    part_b = DisseminationTracker()
+    whole.block_cut(0, 1.0)
+    part_a.block_cut(0, 1.0)
+    whole.leader_received(0, 1.1)
+    part_a.leader_received(0, 1.1)
+    for index, (peer, time) in enumerate([("p1", 1.2), ("p2", 1.3), ("p3", 1.25)]):
+        whole.first_reception(peer, 0, time)
+        (part_a if index % 2 == 0 else part_b).first_reception(peer, 0, time)
+    part_a.merge_from(part_b)
+    assert part_a.summary() == whole.summary()
+    assert part_a.block_latencies(0) == whole.block_latencies(0)
+
+
+# ----- CLI ----------------------------------------------------------------
+
+
+def test_cli_run_sharded_json(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["run", "golden-original-30", "--shards", "2",
+                 "--mode", "inline", "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["scenario"] == "golden-original-30"
+    assert snapshot["total_messages"] > 0
+
+
+def test_cli_run_unknown_scenario_exits_2(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["run", "no-such-scenario"]) == 2
+
+
+def test_cli_run_single_process_default(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["run", "golden-original-30"]) == 0
+    out = capsys.readouterr().out
+    assert "single-process" in out
+
+
+# ----- perf gate flags -----------------------------------------------------
+
+
+def _load_perf_gate():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "perf_gate",
+        os.path.join(os.path.dirname(__file__), "..", "..", "scripts", "perf_gate.py"),
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_perf_gate_shards_requires_determinism_only():
+    perf_gate = _load_perf_gate()
+    with pytest.raises(SystemExit) as excinfo:
+        perf_gate.main(["--shards", "4"])
+    assert excinfo.value.code == 2
+
+
+def test_perf_gate_update_goldens_only_conflicts_with_update():
+    perf_gate = _load_perf_gate()
+    with pytest.raises(SystemExit) as excinfo:
+        perf_gate.main(["--update", "--update-goldens-only"])
+    assert excinfo.value.code == 2
