@@ -8,9 +8,9 @@ This example exercises both with the enhanced gossip module:
 1. a peer crashes mid-run and catches up through recovery after restarting;
 2. 20% of peers free-ride (never forward or advertise) — the epidemic's
    redundancy budget absorbs them;
-3. 20% of peers *tease* (advertise digests, never deliver): the enhanced
-   module's single-in-flight-request indirection stalls and falls back to
-   recovery — the countermeasure gap the paper's §VII calls out;
+3. 20% of peers *tease* (advertise digests, never deliver): stalled
+   requests are retried against different digest holders, with recovery
+   as the backstop — the countermeasure the paper's §VII calls for;
 4. 5% uniform packet loss — the TTL is chosen for pe = 1e-6 under ideal
    conditions, and the surviving redundancy still covers everyone.
 
@@ -88,8 +88,9 @@ def scenario_teasers() -> None:
     print(f"all blocks still delivered; requested transfers withheld: {fault.dropped}")
     print(f"worst dissemination latency: {max(latencies):.3f} s "
           f"(retry/recovery fallback; {recoveries} recovery fetches)")
-    print("-> quantifies the §VII countermeasure gap: the enhanced push should")
-    print("   retry a different peer instead of waiting on one request\n")
+    print("-> the §VII countermeasure: the request-retry ladder rotates a")
+    print("   stalled request to a different digest holder (see")
+    print("   examples/adversarial_study.py for the hardened configuration)\n")
 
 
 def scenario_packet_loss() -> None:

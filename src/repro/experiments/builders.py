@@ -146,8 +146,15 @@ class FabricNetwork:
         return all(peer.ledger_height >= height for peer in self.peers.values())
 
     def all_peers_received(self, block_count: int) -> bool:
-        """Every peer holds every block below ``block_count`` (no gaps)."""
+        """Every present peer holds every block below ``block_count``.
+
+        Peers the churn engine removed from the membership (``departed``)
+        are exempt — they will never catch up, and the completion
+        predicate must not wait for them.
+        """
         for peer in self.peers.values():
+            if peer.departed:
+                continue
             chain = peer.blockchain
             if chain.max_known_number() < block_count - 1:
                 return False

@@ -109,9 +109,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(f"{args.scenario} seed={run.seed}: single-process")
         for key in sorted(snapshot):
-            if key in ("scenario", "seed", "by_kind_bytes"):
+            if key in ("scenario", "seed", "by_kind_bytes", "resilience"):
                 continue
             print(f"  {key:<20} {snapshot[key]}")
+        resilience = snapshot.get("resilience")
+        if resilience:
+            counters = resilience["counters"]
+            hardening = {
+                name: value for name, value in counters.items() if value
+            }
+            print(f"  resilience           faults_dropped={resilience['faults_dropped']}"
+                  f" joined={resilience['peers_joined']}"
+                  f" departed={resilience['peers_departed']}")
+            if hardening:
+                print("    counters           "
+                      + " ".join(f"{k}={v}" for k, v in sorted(hardening.items())))
+            full = resilience["infection"].get("1")
+            if full and "max" in full:
+                print(f"    infection(100%)    p50={full['p50']:.3f}s"
+                      f" p95={full['p95']:.3f}s max={full['max']:.3f}s"
+                      f" ({full['blocks_reached']} blocks)")
     return 0
 
 

@@ -69,6 +69,12 @@ class Peer(Process):
         self.gossip: Optional[GossipModule] = None
         self.background: Optional[BackgroundTraffic] = None
         self.election: Optional[LeaderElection] = None
+        # Churn engine flags (repro.faults.churn): a deferred peer is built
+        # but held out of the deployment until its JoinEvent fires; a
+        # departed peer has left for good and is excluded from completion
+        # predicates.
+        self.defer_start = False
+        self.departed = False
         self._validating = False
         self.blocks_received_via = {"orderer": 0, "push": 0, "pull": 0, "recovery": 0}
         # Digest handling calls get_block once per digest; the instance
@@ -129,6 +135,8 @@ class Peer(Process):
 
     def start(self) -> None:
         """Arm gossip timers, background traffic and leader election."""
+        if self.defer_start:
+            return  # held out by the churn engine until its JoinEvent
         if self.gossip is None:
             raise RuntimeError(f"{self.name} has no gossip module attached")
         self.gossip.start()

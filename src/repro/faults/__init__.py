@@ -1,14 +1,24 @@
-"""Fault injection: crashes, partitions, degraded links, adversaries.
+"""Fault injection: crashes, partitions, degraded links, adversaries, churn.
 
 The paper keeps adversarial peers for future work (§VII) but relies on the
 recovery component for crash/outage resilience (§III-A). This package
-exercises both: scheduled crash/recover of peers (recovery catch-up),
-network partitions and lossy WAN links (the scenario subsystem's
-declarative fault events compile onto these, see
-:mod:`repro.faults.schedule`), peers that silently refuse to forward
-gossip (the §VII adversarial model), and random packet loss.
+exercises both — and goes beyond: scheduled crash/recover of peers
+(recovery catch-up), network partitions and lossy WAN links, a byzantine
+arsenal (silent, lazy, teasing, digest-lying peers, eclipse coalitions,
+asymmetric flaky links — see :mod:`repro.faults.adversaries` and
+docs/faults.md), and runtime membership churn (flash-crowd joins, mass
+departures — :mod:`repro.faults.churn`). The scenario subsystem's
+declarative fault events compile onto all of these
+(:mod:`repro.faults.schedule`).
 """
 
+from repro.faults.adversaries import (
+    DigestLiarFault,
+    EclipseFault,
+    FlakyLinkFault,
+    LazyForwarderFault,
+)
+from repro.faults.churn import ChurnController
 from repro.faults.injectors import (
     CrashSchedule,
     LinkDegradeFault,
@@ -18,20 +28,35 @@ from repro.faults.injectors import (
     TeasingPeerFault,
 )
 from repro.faults.schedule import (
+    AdversaryEvent,
     CrashEvent,
     DegradeEvent,
+    EclipseEvent,
     FaultEvent,
     FaultSchedule,
+    FlakyLinkEvent,
+    JoinEvent,
+    LeaveEvent,
     PartitionEvent,
     compile_fault_schedule,
 )
 
 __all__ = [
+    "AdversaryEvent",
+    "ChurnController",
     "CrashEvent",
     "CrashSchedule",
     "DegradeEvent",
+    "DigestLiarFault",
+    "EclipseEvent",
+    "EclipseFault",
     "FaultEvent",
     "FaultSchedule",
+    "FlakyLinkEvent",
+    "FlakyLinkFault",
+    "JoinEvent",
+    "LazyForwarderFault",
+    "LeaveEvent",
     "LinkDegradeFault",
     "PacketLossFault",
     "PartitionEvent",

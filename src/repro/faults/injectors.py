@@ -4,11 +4,35 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.gossip.messages import BlockPush, PushDigest
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.simulation.random import RandomStreams
+
+
+class PerSourceStreams:
+    """Lazily keyed per-source RNG streams: ``<prefix>:<src>``.
+
+    The sharding determinism contract (docs/sharding.md) requires every
+    random draw to be keyed to a single node so the draw sequence depends
+    only on that node's own event order. Drop-filter draws happen at send
+    time on the sender's shard, so keying them by *source* makes any
+    probabilistic injector shard-safe. The per-source ``Random`` objects
+    are cached here so the hot predicate path costs one dict probe.
+    """
+
+    def __init__(self, streams: RandomStreams, prefix: str) -> None:
+        self._streams = streams
+        self._prefix = prefix
+        self._cache: Dict[str, random.Random] = {}
+
+    def __call__(self, src: str) -> random.Random:
+        rng = self._cache.get(src)
+        if rng is None:
+            rng = self._cache[src] = self._streams.stream(f"{self._prefix}:{src}")
+        return rng
 
 
 @dataclass
@@ -36,7 +60,16 @@ class CrashSchedule:
 
 
 class _ComposableDropFilter:
-    """Chains several drop predicates on one network."""
+    """Chains several drop predicates on one network.
+
+    Order contract: predicates are evaluated in **installation order**
+    (a pre-existing plain-callable filter wrapped by :func:`_drop_filter_for`
+    keeps its original first slot), and evaluation short-circuits on the
+    first predicate that drops — so when two injectors would both drop a
+    message, only the earliest-installed one counts it. ``add`` is
+    idempotent by identity: re-arming the same injector never double-wraps
+    nor duplicates a predicate, so its drop counter stays single-counted.
+    """
 
     def __init__(self, network: Network) -> None:
         self.network = network
@@ -44,13 +77,23 @@ class _ComposableDropFilter:
         network.set_drop_filter(self)
 
     def add(self, predicate: Callable[[str, str, Message], bool]) -> None:
-        self._predicates.append(predicate)
+        if predicate is self:
+            return  # never chain a composable into itself
+        if predicate not in self._predicates:
+            self._predicates.append(predicate)
 
     def __call__(self, src: str, dst: str, message: Message) -> bool:
         return any(predicate(src, dst, message) for predicate in self._predicates)
 
 
 def _drop_filter_for(network: Network) -> _ComposableDropFilter:
+    """The network's composable drop filter, installing one if needed.
+
+    A plain callable already installed via ``set_drop_filter`` is adopted
+    as the chain's first predicate (it keeps evaluation priority);
+    repeated calls return the same composable, so arming any number of
+    injectors — or the same injector twice — composes idempotently.
+    """
     existing = getattr(network, "_drop_filter", None)
     if isinstance(existing, _ComposableDropFilter):
         return existing
@@ -73,13 +116,27 @@ class SilentPeerFault:
     Pull/recovery serving is left intact: this adversary avoids detection.
     """
 
-    def __init__(self, network: Network, silent_peers: Iterable[str]) -> None:
+    def __init__(
+        self, network: Network, silent_peers: Iterable[str], active: bool = True
+    ) -> None:
         self.silent: Set[str] = set(silent_peers)
+        self.active = active
         self.dropped = 0
-        _drop_filter_for(network).add(self._predicate)
+        self._network = network
+        self.arm()
+
+    def arm(self, network: Optional[Network] = None) -> None:
+        """(Re-)install the predicate; idempotent on the same network."""
+        _drop_filter_for(network or self._network).add(self._predicate)
+
+    def activate(self) -> None:
+        self.active = True
+
+    def stop(self) -> None:
+        self.active = False
 
     def _predicate(self, src: str, dst: str, message: Message) -> bool:
-        if src not in self.silent:
+        if not self.active or src not in self.silent:
             return False
         is_forward_work = isinstance(message, PushDigest) or (
             isinstance(message, BlockPush) and not message.requested
@@ -101,13 +158,27 @@ class TeasingPeerFault:
     quantifying the countermeasure gap the paper calls out as future work.
     """
 
-    def __init__(self, network: Network, teasing_peers: Iterable[str]) -> None:
+    def __init__(
+        self, network: Network, teasing_peers: Iterable[str], active: bool = True
+    ) -> None:
         self.teasing: Set[str] = set(teasing_peers)
+        self.active = active
         self.dropped = 0
-        _drop_filter_for(network).add(self._predicate)
+        self._network = network
+        self.arm()
+
+    def arm(self, network: Optional[Network] = None) -> None:
+        """(Re-)install the predicate; idempotent on the same network."""
+        _drop_filter_for(network or self._network).add(self._predicate)
+
+    def activate(self) -> None:
+        self.active = True
+
+    def stop(self) -> None:
+        self.active = False
 
     def _predicate(self, src: str, dst: str, message: Message) -> bool:
-        if src in self.teasing and isinstance(message, BlockPush):
+        if self.active and src in self.teasing and isinstance(message, BlockPush):
             self.dropped += 1
             return True
         return False
@@ -144,7 +215,12 @@ class PartitionFault:
                 self._group_of[name] = index
         self.active = active
         self.dropped = 0
-        _drop_filter_for(network).add(self._predicate)
+        self._network = network
+        self.arm()
+
+    def arm(self, network: Optional[Network] = None) -> None:
+        """(Re-)install the predicate; idempotent on the same network."""
+        _drop_filter_for(network or self._network).add(self._predicate)
 
     def activate(self) -> None:
         self.active = True
@@ -167,27 +243,45 @@ class LinkDegradeFault:
 
     Models flaky long-haul links: every message whose ``(src, dst)`` pair
     passes ``link_filter`` (default: all links) is dropped with
-    probability ``loss_rate`` while the fault is active. The RNG should
-    be a dedicated named stream (``streams.stream("faults:degrade")``)
-    so the loss draws never perturb any other component's sequence.
+    probability ``loss_rate`` while the fault is active.
+
+    ``rng`` accepts either a :class:`RandomStreams` registry — loss draws
+    then come from dedicated **per-source** streams
+    (``<stream_prefix>:<src>``, default ``faults:degrade:<src>``), which
+    keeps every draw keyed to the sending node and therefore composes
+    with process sharding (docs/sharding.md) — or a plain
+    :class:`random.Random` for a single shared stream (legacy form: still
+    deterministic single-process, but NOT shard-safe, since a partition
+    cannot preserve the global consumption order).
     """
 
     def __init__(
         self,
         network: Network,
         loss_rate: float,
-        rng: random.Random,
+        rng: Union[RandomStreams, random.Random],
         link_filter: Optional[Callable[[str, str], bool]] = None,
         active: bool = True,
+        stream_prefix: str = "faults:degrade",
     ) -> None:
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError(f"loss rate must be in [0, 1], got {loss_rate}")
         self.loss_rate = loss_rate
-        self._rng = rng
+        if hasattr(rng, "stream"):
+            per_source = PerSourceStreams(rng, stream_prefix)
+        else:
+            def per_source(src: str, _rng: random.Random = rng) -> random.Random:
+                return _rng
+        self._rng_for = per_source
         self._link_filter = link_filter
         self.active = active
         self.dropped = 0
-        _drop_filter_for(network).add(self._predicate)
+        self._network = network
+        self.arm()
+
+    def arm(self, network: Optional[Network] = None) -> None:
+        """(Re-)install the predicate; idempotent on the same network."""
+        _drop_filter_for(network or self._network).add(self._predicate)
 
     def activate(self) -> None:
         self.active = True
@@ -201,7 +295,7 @@ class LinkDegradeFault:
         link_filter = self._link_filter
         if link_filter is not None and not link_filter(src, dst):
             return False
-        if self._rng.random() < self.loss_rate:
+        if self._rng_for(src).random() < self.loss_rate:
             self.dropped += 1
             return True
         return False
@@ -216,7 +310,12 @@ class PacketLossFault:
         self.loss_rate = loss_rate
         self._rng = rng
         self.dropped = 0
-        _drop_filter_for(network).add(self._predicate)
+        self._network = network
+        self.arm()
+
+    def arm(self, network: Optional[Network] = None) -> None:
+        """(Re-)install the predicate; idempotent on the same network."""
+        _drop_filter_for(network or self._network).add(self._predicate)
 
     def _predicate(self, src: str, dst: str, message: Message) -> bool:
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:

@@ -69,6 +69,13 @@ class EnhancedGossipConfig:
             every hop.
         t_push: push buffer timer; the paper sets 0 for data blocks to keep
             the per-pair randomness unbiased.
+        request_timeout: base timeout of the block-request retry ladder —
+            a stalled transfer is re-requested from a *different* digest
+            holder after this long (backed off per attempt); 0 disables
+            retries and leaves stalls to the recovery component alone.
+        request_retries: retries per block before the in-flight slot is
+            released back to later digests / recovery.
+        retry_backoff: multiplicative timeout growth per retry attempt.
         recovery: anti-entropy parameters (pull is removed, recovery kept).
     """
 
@@ -78,6 +85,9 @@ class EnhancedGossipConfig:
     leader_fanout: int = 1
     use_digests: bool = True
     t_push: float = 0.0
+    request_timeout: float = 0.5
+    request_retries: int = 2
+    retry_backoff: float = 2.0
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     def __post_init__(self) -> None:
@@ -89,6 +99,12 @@ class EnhancedGossipConfig:
             raise ValueError("require 0 <= ttl_direct <= ttl")
         if self.t_push < 0:
             raise ValueError("t_push must be >= 0")
+        if self.request_timeout < 0:
+            raise ValueError("request_timeout must be >= 0")
+        if self.request_retries < 0:
+            raise ValueError("request_retries must be >= 0")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
 
     @classmethod
     def paper_f4(cls) -> "EnhancedGossipConfig":

@@ -45,6 +45,9 @@ class EnhancedGossip(GossipModule):
             ttl_direct=config.ttl_direct,
             use_digests=config.use_digests,
             t_push=config.t_push,
+            request_timeout=config.request_timeout,
+            request_retries=config.request_retries,
+            retry_backoff=config.retry_backoff,
         )
         self.recovery = RecoveryComponent(
             host,

@@ -24,6 +24,19 @@ keep that bound honest:
   also guarantees digest receivers can always obtain the block from the
   digest's sender.
 
+The single in-flight request is also the protocol's soft spot against
+withholding peers (§VII): a request landing on a teaser would stall until
+the anti-entropy recovery component rescues it. The request path is
+therefore hardened with an *active* retry ladder: every request arms a
+timer (``request_timeout``, backed off by ``retry_backoff`` per attempt);
+on expiry the peer re-requests from a **different** advertised holder —
+holders are remembered in digest arrival order, and the first untried one
+is picked, so the rotation is deterministic and draws no randomness (and
+hence composes with process sharding). After ``request_retries`` retries
+the in-flight slot is released, so a later digest (or recovery) can take
+over — the bounded ladder never sacrifices liveness. Counters distinguish
+stalls rescued by a retry from those the recovery component had to repair.
+
 The paper also sets ``t_push = 0`` for data blocks: Fabric's 10 ms buffer
 merges pairs of the same block with different counters and sends them to a
 single target sample, which biases the randomness and degrades the
@@ -48,6 +61,20 @@ from repro.ledger.block import Block
 _PAIR_SHIFT = 20
 
 
+class _InflightRequest:
+    """Retry state of one outstanding block request."""
+
+    __slots__ = ("counter", "attempts", "tried", "generation")
+
+    def __init__(self, counter: int, target: str) -> None:
+        self.counter = counter
+        self.attempts = 0
+        self.tried = [target]
+        # Bumped on every (re-)send; a pending timer whose generation no
+        # longer matches is stale and must not fire a retry.
+        self.generation = 0
+
+
 class InfectUponContagionPush:
     """The enhanced push component.
 
@@ -61,9 +88,15 @@ class InfectUponContagionPush:
         use_digests: Fig. 11 ablation switch.
         t_push: optional buffer timer; the paper's protocol uses 0.
         on_forward: instrumentation hook ``(block_number, counter, targets)``.
+        request_timeout: base per-request timeout before retrying against
+            a different digest holder; ``0`` disables the retry ladder.
+        request_retries: retries per block before the in-flight slot is
+            released (abandoned requests fall back to later digests or
+            the recovery component).
+        retry_backoff: multiplicative timeout growth per attempt.
     """
 
-    REQUEST_RETRY_TIMEOUT = 0.5  # re-request a block if the transfer stalls
+    REQUEST_RETRY_TIMEOUT = 0.5  # default base timeout of the retry ladder
 
     def __init__(
         self,
@@ -75,6 +108,9 @@ class InfectUponContagionPush:
         use_digests: bool = True,
         t_push: float = 0.0,
         on_forward: Optional[Callable[[int, int, List[str]], None]] = None,
+        request_timeout: float = REQUEST_RETRY_TIMEOUT,
+        request_retries: int = 2,
+        retry_backoff: float = 2.0,
     ) -> None:
         self.host = host
         self.view = view
@@ -83,6 +119,9 @@ class InfectUponContagionPush:
         self.ttl_direct = ttl_direct
         self.use_digests = use_digests
         self.t_push = t_push
+        self.request_timeout = request_timeout
+        self.request_retries = request_retries
+        self.retry_backoff = retry_backoff
         self._rng = host.rng("iuc-push-targets")
         # Hot path: bound once, not per message (getattr: construction-only
         # test doubles may omit ``send``).
@@ -94,8 +133,11 @@ class InfectUponContagionPush:
         self._on_forward = on_forward
         # Packed (block << _PAIR_SHIFT | counter) keys already seen.
         self._seen_pairs: Set[int] = set()
-        # Blocks with an outstanding PushRequest: block number -> send time.
-        self._inflight_requests: Dict[int, float] = {}
+        # Blocks with an outstanding PushRequest: block number -> retry state.
+        self._inflight_requests: Dict[int, _InflightRequest] = {}
+        # Peers that advertised a block we do not hold yet, in digest
+        # arrival order (deduplicated) — the deterministic retry rotation.
+        self._digest_holders: Dict[int, List[str]] = {}
         # Pairs learned via digest while the block transfer is pending:
         # block number -> counters to forward once the block arrives.
         self._pending_pairs: Dict[int, List[int]] = defaultdict(list)
@@ -110,6 +152,10 @@ class InfectUponContagionPush:
         self.digests_sent = 0
         self.full_pushes_sent = 0
         self.requests_sent = 0
+        self.requests_retried = 0
+        self.request_timeouts = 0
+        self.requests_abandoned = 0
+        self.stalls_rescued_by_retry = 0
 
     # ----- receiving pairs ----------------------------------------------
 
@@ -121,7 +167,12 @@ class InfectUponContagionPush:
         peers whose requests arrived before we held the block.
         """
         number = block.number
-        self._inflight_requests.pop(number, None)
+        state = self._inflight_requests.pop(number, None)
+        if state is not None and state.attempts > 0:
+            # The block arrived after at least one retry re-targeted the
+            # request: a stall the ladder resolved without recovery.
+            self.stalls_rescued_by_retry += 1
+        self._digest_holders.pop(number, None)
         seen = self._seen_pairs
         key = (number << _PAIR_SHIFT) | counter
         is_new = key not in seen
@@ -146,8 +197,9 @@ class InfectUponContagionPush:
 
         If we hold the block this behaves exactly like a pair reception
         (minus the payload). Otherwise we request the block — one request
-        in flight per block — and queue the pair for forwarding on arrival,
-        so the branching process resumes the moment the block lands.
+        in flight per block, hardened by the retry ladder: the sender is
+        remembered as a holder, and should the transfer stall past the
+        timeout, the retry rotates to a different advertised holder.
         """
         number = message.block_number
         counter = message.counter
@@ -160,16 +212,68 @@ class InfectUponContagionPush:
                 self.pairs_received += 1
                 self._forward(block, counter)
             return
-        requested_at = self._inflight_requests.get(number)
-        now = self.host.now
-        if requested_at is None or now - requested_at > self.REQUEST_RETRY_TIMEOUT:
-            self._inflight_requests[number] = now
+        holders = self._digest_holders.get(number)
+        if holders is None:
+            holders = self._digest_holders[number] = []
+        if src not in holders:
+            holders.append(src)
+        state = self._inflight_requests.get(number)
+        if state is None:
+            state = self._inflight_requests[number] = _InflightRequest(counter, src)
             self.host.send(src, PushRequest(number, counter))
             self.requests_sent += 1
+            self._arm_request_timer(number, state)
         if key not in seen:
             seen.add(key)
             self.pairs_received += 1
             self._pending_pairs[number].append(counter)
+
+    def _arm_request_timer(self, number: int, state: _InflightRequest) -> None:
+        if self.request_timeout <= 0:
+            return
+        delay = self.request_timeout * (self.retry_backoff ** state.attempts)
+        self.host.after(delay, self._on_request_timeout, number, state.generation)
+
+    def _on_request_timeout(self, number: int, generation: int) -> None:
+        """The in-flight request for ``number`` outlived its timeout.
+
+        Retries deterministically against the first *untried* digest
+        holder in arrival order (falling back to a round-robin over all
+        holders when every one was tried) — no RNG draw, so sharded and
+        single-process runs retry identically. Exhausted ladders release
+        the slot: a later digest re-requests from scratch, and recovery
+        remains the terminal safety net.
+        """
+        state = self._inflight_requests.get(number)
+        if state is None or state.generation != generation:
+            return  # resolved, superseded, or already re-armed
+        if self._get_block(number) is not None:
+            del self._inflight_requests[number]
+            return
+        self.request_timeouts += 1
+        if state.attempts >= self.request_retries:
+            del self._inflight_requests[number]
+            self.requests_abandoned += 1
+            return
+        holders = self._digest_holders.get(number, [])
+        target = None
+        for holder in holders:
+            if holder not in state.tried:
+                target = holder
+                break
+        if target is None:
+            if not holders:
+                del self._inflight_requests[number]
+                self.requests_abandoned += 1
+                return
+            target = holders[state.attempts % len(holders)]
+        state.attempts += 1
+        state.generation += 1
+        state.tried.append(target)
+        self.host.send(target, PushRequest(number, state.counter))
+        self.requests_sent += 1
+        self.requests_retried += 1
+        self._arm_request_timer(number, state)
 
     def on_request(self, src: str, message: PushRequest) -> None:
         """Serve a full block requested after one of our digests."""
@@ -239,7 +343,7 @@ class InfectUponContagionPush:
         """Drop pair-tracking state for old blocks (memory bound)."""
         threshold = block_number << _PAIR_SHIFT
         self._seen_pairs = {key for key in self._seen_pairs if key >= threshold}
-        for mapping in (self._pending_pairs, self._pending_serves):
+        for mapping in (self._pending_pairs, self._pending_serves, self._digest_holders):
             stale = [number for number in mapping if number < block_number]
             for number in stale:
                 del mapping[number]

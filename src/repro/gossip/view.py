@@ -76,6 +76,38 @@ class OrganizationView:
     # distinct random channel peers (recovery is cross-org) — are bound as
     # instance partials in __init__; see the comment there.
 
+    # ----- runtime membership (churn engine) ---------------------------
+
+    def add_member(self, name: str, same_org: bool) -> None:
+        """Admit ``name`` into this view's sampling populations.
+
+        Idempotent. The bound samplers hold the population *list objects*,
+        so in-place appends are immediately visible to every future draw
+        without rebinding — which is what makes runtime joins cheap.
+        """
+        name = sys.intern(name)
+        if name == self.self_name:
+            return
+        if same_org:
+            if name not in self._org_others:
+                self._org_others.append(name)
+            if name not in self._org_peers:
+                self._org_peers.append(name)
+        if name not in self._channel_others:
+            self._channel_others.append(name)
+
+    def discard_member(self, name: str) -> None:
+        """Remove ``name`` from this view's sampling populations.
+
+        Idempotent; a no-op for names not present. Leaders are protected
+        upstream (the churn engine refuses to churn a leader).
+        """
+        for population in (self._org_others, self._org_peers, self._channel_others):
+            try:
+                population.remove(name)
+            except ValueError:
+                pass
+
 
 def build_views(
     org_members: Dict[str, List[str]], leaders: Dict[str, str]

@@ -1,0 +1,117 @@
+"""Resilience observability: how a run survived its faults.
+
+Three views, all derived from state the simulation already records:
+
+* **hardening counters** — the request-retry ladder's accounting
+  (requests sent/retried/timed-out/abandoned, stalls rescued by a retry
+  rather than by the recovery component) plus the recovery component's
+  own counters, summed over a set of peers;
+* **infection curves** — per block, how long until 50%/90%/99%/100% of
+  the expected membership held it (the classic epidemic S-curve,
+  collapsed to percentile milestones so it fits a JSON snapshot);
+* **time-to-all percentiles** — the distribution of full-dissemination
+  times across blocks (convergence under attack).
+
+Everything here is a pure fold over tracker/counter state: no RNG, no
+simulator access, deterministic iteration order — so the snapshot is
+golden-comparable and identical whether the counters were summed in one
+process or across shard workers (the counters are plain ints recorded on
+exactly one shard each; see docs/sharding.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.metrics.latency import DisseminationTracker, percentile
+
+# The request-retry ladder's counters (InfectUponContagionPush); the
+# original module's push has none of these, hence the getattr default.
+PUSH_COUNTERS = (
+    "requests_sent",
+    "requests_retried",
+    "request_timeouts",
+    "requests_abandoned",
+    "stalls_rescued_by_retry",
+)
+RECOVERY_COUNTERS = ("recovery_requests_sent", "blocks_recovered")
+
+INFECTION_FRACTIONS = (0.5, 0.9, 0.99, 1.0)
+
+
+def peer_resilience_counters(peers: Iterable) -> Dict[str, int]:
+    """Sum the hardening counters over ``peers`` (order-insensitive)."""
+    totals = {name: 0 for name in PUSH_COUNTERS + RECOVERY_COUNTERS}
+    for peer in peers:
+        module = peer.gossip
+        if module is None:
+            continue
+        push = getattr(module, "push", None)
+        if push is not None:
+            for name in PUSH_COUNTERS:
+                totals[name] += getattr(push, name, 0)
+        recovery = getattr(module, "recovery", None)
+        if recovery is not None:
+            for name in RECOVERY_COUNTERS:
+                totals[name] += getattr(recovery, name, 0)
+    return totals
+
+
+def infection_summary(
+    tracker: DisseminationTracker,
+    expected_peers: int,
+    fractions: Sequence[float] = INFECTION_FRACTIONS,
+) -> Dict[str, Dict[str, float]]:
+    """Per-fraction infection milestones, aggregated over all blocks.
+
+    For each block, the time until ``ceil(f * expected_peers)`` peers
+    held it (its f-infection milestone); blocks that never reached the
+    threshold are excluded from that fraction's sample but show up in
+    the ``blocks_reached`` count, so partial convergence is visible
+    rather than silently averaged away.
+    """
+    if expected_peers < 1:
+        raise ValueError("expected_peers must be >= 1")
+    milestones: Dict[float, List[float]] = {fraction: [] for fraction in fractions}
+    for number in tracker.blocks():
+        latencies = sorted(tracker.block_latencies(number).values())
+        for fraction in fractions:
+            need = max(1, math.ceil(fraction * expected_peers))
+            if len(latencies) >= need:
+                milestones[fraction].append(latencies[need - 1])
+    summary: Dict[str, Dict[str, float]] = {}
+    for fraction in fractions:
+        times = sorted(milestones[fraction])
+        entry: Dict[str, float] = {"blocks_reached": len(times)}
+        if times:
+            entry["p50"] = percentile(times, 0.50)
+            entry["p95"] = percentile(times, 0.95)
+            entry["max"] = times[-1]
+        summary[f"{fraction:g}"] = entry
+    return summary
+
+
+def time_to_all_summary(tracker: DisseminationTracker) -> Dict[str, float]:
+    """Percentiles of the per-block full-dissemination time."""
+    times = sorted(value for _, value in tracker.block_ranking())
+    if not times:
+        return {}
+    return {
+        "p50": percentile(times, 0.50),
+        "p95": percentile(times, 0.95),
+        "max": times[-1],
+    }
+
+
+def resilience_snapshot(
+    counters: Dict[str, int],
+    tracker: DisseminationTracker,
+    expected_peers: int,
+) -> dict:
+    """The JSON-stable resilience section of a scenario snapshot."""
+    return {
+        "counters": dict(sorted(counters.items())),
+        "infection": infection_summary(tracker, expected_peers),
+        "time_to_all": time_to_all_summary(tracker),
+    }

@@ -12,7 +12,16 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List
 
-from repro.faults.schedule import CrashEvent, DegradeEvent, PartitionEvent
+from repro.faults.schedule import (
+    AdversaryEvent,
+    CrashEvent,
+    DegradeEvent,
+    EclipseEvent,
+    FlakyLinkEvent,
+    JoinEvent,
+    LeaveEvent,
+    PartitionEvent,
+)
 from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
 from repro.scenarios.spec import LinkSpec, RegionTopology, ScenarioSpec, WorkloadSpec
 
@@ -60,6 +69,29 @@ def _gossip_no_digest_ablation() -> EnhancedGossipConfig:
     """Fig. 11 ablation: full blocks at every hop (no digests)."""
     gossip = EnhancedGossipConfig.paper_f4()
     gossip.use_digests = False
+    return gossip
+
+
+def _gossip_byzantine_hardened() -> EnhancedGossipConfig:
+    """Enhanced gossip tuned for byzantine presence.
+
+    Two deviations from the paper defaults: the leader initiates with
+    ``leader_fanout = fout`` (delegating initiation to a single random
+    peer is a single point of failure when that peer may be an
+    adversary — one teasing initial gossiper strangles the whole
+    epidemic), and the request-retry ladder is deepened so a stalled
+    peer rotates through more digest holders before giving up.
+    """
+    gossip = EnhancedGossipConfig.paper_f4()
+    gossip.leader_fanout = gossip.fout
+    # Adversaries absorb epidemic energy (their full-block forwards are
+    # dropped), so give the digest phase more rounds to cover everyone.
+    gossip.ttl = 14
+    gossip.request_retries = 4
+    # Keep the whole ladder (0.3 + 0.45 + ... ~= 2.4 s) inside the
+    # recovery component's period so a retry always beats the safety net.
+    gossip.request_timeout = 0.3
+    gossip.retry_backoff = 1.5
     return gossip
 
 
@@ -241,5 +273,99 @@ register(ScenarioSpec(
     background=True,
     faults=(DegradeEvent(at=1.0, restore_at=8.0, loss_rate=0.25),),
     workload=WorkloadSpec(blocks=5, idle_tail=5.0),
+    seeds=(1, 2),
+))
+
+# --------------------------------------------------------------------------
+# Adversarial / churn scenarios: the byzantine arsenal (§VII and beyond)
+# and runtime membership churn. All of them replay bit-for-bit at any
+# shard count — every injector draws from per-source RNG streams.
+# --------------------------------------------------------------------------
+
+register(ScenarioSpec(
+    name="byzantine-teasers",
+    description="250 peers, 20% teasing (advertise, never serve); retries rescue stalls",
+    gossip=_gossip_byzantine_hardened,
+    n_peers=250,
+    faults=(AdversaryEvent(kind="teasing", regular_slice=(199, 249)),),
+    workload=WorkloadSpec(blocks=4, idle_tail=0.0, grace_period=90.0),
+    seeds=(1, 2, 3),
+))
+
+register(ScenarioSpec(
+    name="lazy-forwarders",
+    description="40 peers, 20 shirk half their forwarding work (drop_prob=0.5)",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=40,
+    faults=(AdversaryEvent(kind="lazy", regular_slice=(19, 39), drop_prob=0.5),),
+    workload=WorkloadSpec(blocks=5, idle_tail=0.0, grace_period=90.0),
+    seeds=(1, 2),
+))
+
+register(ScenarioSpec(
+    name="digest-liars",
+    description="40 peers, 8 re-advertise digests for blocks they never serve",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=40,
+    faults=(AdversaryEvent(kind="digest-liar", regular_slice=(31, 39)),),
+    workload=WorkloadSpec(blocks=5, idle_tail=0.0, grace_period=120.0),
+    seeds=(1, 2),
+))
+
+register(ScenarioSpec(
+    name="eclipse-attempt",
+    description="3 teasing attackers monopolize peer-16's view t=0.5..6 s",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=20,
+    faults=(
+        AdversaryEvent(kind="teasing", peers=("peer-17", "peer-18", "peer-19")),
+        EclipseEvent(
+            victim="peer-16",
+            at=0.5,
+            release_at=6.0,
+            attackers=("peer-17", "peer-18", "peer-19"),
+        ),
+    ),
+    workload=WorkloadSpec(blocks=5, idle_tail=5.0, grace_period=120.0),
+    seeds=(1, 2),
+))
+
+register(ScenarioSpec(
+    name="flash-crowd",
+    description="5 of 30 peers held out, join as a flash crowd at t=3 s",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=30,
+    faults=(JoinEvent(at=3.0, regular_slice=(24, 29)),),
+    workload=WorkloadSpec(blocks=6, idle_tail=5.0, grace_period=120.0),
+    seeds=(1, 2),
+))
+
+register(ScenarioSpec(
+    name="mass-departure",
+    description="10 of 30 peers leave the membership for good at t=4 s",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=30,
+    faults=(LeaveEvent(at=4.0, regular_slice=(19, 29)),),
+    workload=WorkloadSpec(blocks=6, idle_tail=5.0),
+    seeds=(1, 2),
+))
+
+register(ScenarioSpec(
+    name="flaky-links",
+    description="2-region WAN; 30% one-way loss east->west t=1..8 s (asymmetric)",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=16,
+    organizations=2,
+    topology=RegionTopology(
+        regions=("east", "west"),
+        links=(("east", "west", LinkSpec(0.038, 0.004)),),
+    ),
+    background=True,
+    faults=(
+        FlakyLinkEvent(
+            at=1.0, restore_at=8.0, loss_rate=0.3, direction=("east", "west")
+        ),
+    ),
+    workload=WorkloadSpec(blocks=5, idle_tail=5.0, grace_period=120.0),
     seeds=(1, 2),
 ))

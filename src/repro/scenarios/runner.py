@@ -22,6 +22,7 @@ from repro.experiments.dissemination import (
 )
 from repro.faults.schedule import FaultSchedule, compile_fault_schedule
 from repro.gossip.config import BackgroundTrafficConfig
+from repro.metrics.resilience import peer_resilience_counters, resilience_snapshot
 from repro.net.network import NetworkConfig
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
@@ -101,7 +102,26 @@ class ScenarioRun:
             "by_kind_bytes": dict(sorted(totals.by_kind_bytes.items())),
             "dropped_messages": net.network.dropped_messages,
             "blocks_via_recovery": self.result.recovery_usage(),
+            "resilience": self.resilience(),
         }
+
+    def resilience(self) -> dict:
+        """Hardening counters, infection curves and churn accounting.
+
+        Counters sum over every peer (a departed peer's pre-departure
+        activity happened); the infection-curve denominator excludes
+        departed peers — a curve that waits for peers that left for good
+        would never close.
+        """
+        net = self.result.net
+        expected = sum(1 for peer in net.peers.values() if not peer.departed)
+        report = resilience_snapshot(
+            peer_resilience_counters(net.peers.values()), net.tracker, expected
+        )
+        report["faults_dropped"] = self.faults.dropped_messages
+        report["peers_joined"] = self.faults.peers_joined
+        report["peers_departed"] = self.faults.peers_departed
+        return report
 
 
 def run_scenario(
@@ -114,15 +134,13 @@ def run_scenario(
     if seed is None:
         seed = spec.seeds[0]
     config = dissemination_config(spec, seed=seed, full=full)
-    schedule = FaultSchedule()
+    compiled: list = []  # box: prepare runs inside run_dissemination
 
     def prepare(net) -> None:
-        compiled = compile_fault_schedule(spec.faults, net)
-        schedule.crashes = compiled.crashes
-        schedule.partitions = compiled.partitions
-        schedule.degrades = compiled.degrades
+        compiled.append(compile_fault_schedule(spec.faults, net))
 
     result = run_dissemination(config, prepare=prepare if spec.faults else None)
+    schedule = compiled[0] if compiled else FaultSchedule()
     return ScenarioRun(spec=spec, seed=seed, result=result, faults=schedule)
 
 

@@ -22,11 +22,15 @@ send-side physics, to be injected on the destination's shard at the next
 window barrier. Foreign peers' message handlers are replaced with guards
 that raise — a mis-routed delivery is a bug, never silent corruption.
 
-Crash events are applied globally (every shard must see the disconnect
-flags that drop traffic to a dead peer at send time) but only the owner
-shard runs the peer's full ``crash()``/``recover()`` lifecycle.
-Degrade faults draw from a global RNG stream, so scenarios using them
-force single-process execution (the plan says why).
+Fault schedules compile through the same
+:func:`~repro.faults.schedule.compile_fault_schedule` the single-process
+runner uses, with ``owned`` naming this shard's nodes: global state
+transitions (disconnect flags, drop predicates, view membership) are
+armed on every shard, while peer lifecycle (crash/recover, start-at-join,
+shutdown-at-leave) runs only on the owner shard. Probabilistic injectors
+draw from per-source RNG streams keyed to the sending node, so every
+fault event — including degrade, adversary and churn events — replays
+bit-for-bit at any shard count (docs/faults.md).
 """
 
 from __future__ import annotations
@@ -42,15 +46,9 @@ from repro.experiments.builders import (
 )
 from repro.fabric.config import PeerConfig, ValidationMode
 from repro.experiments.workloads import synthetic_block_transactions
-from repro.faults.injectors import CrashSchedule, PartitionFault
-from repro.faults.schedule import (
-    CrashEvent,
-    DegradeEvent,
-    PartitionEvent,
-    _resolve_crash_peers,
-    _resolve_islands,
-)
+from repro.faults.schedule import compile_fault_schedule
 from repro.metrics.latency import DisseminationTracker
+from repro.metrics.resilience import peer_resilience_counters, resilience_snapshot
 from repro.net.monitor import TrafficMonitor
 from repro.net.network import NetworkConfig
 from repro.scenarios.registry import get_scenario
@@ -82,14 +80,6 @@ def plan_for(
     """
     if shards <= 1:
         return ShardPlan(shards=1)
-    if any(isinstance(event, DegradeEvent) for event in spec.faults):
-        return ShardPlan(
-            shards=1,
-            forced_reason=(
-                "degrade faults draw from the global 'faults:degrade' stream, "
-                "whose order a partition cannot preserve"
-            ),
-        )
     config = dissemination_config(spec, seed=seed, full=full)
     org_members = organization_members(config.n_peers, config.organizations)
     nodes = [name for members in org_members.values() for name in members]
@@ -124,6 +114,15 @@ class ShardResult:
     tracker: DisseminationTracker
     dropped_messages: int
     blocks_via_recovery: int
+    # Hardening counters summed over this shard's owned peers, plus the
+    # shard's injector drop count — each recorded on exactly one shard,
+    # so the merge sums them. Membership counters are replicated global
+    # state (every shard applies every join/leave), so the merge takes
+    # them from one shard instead of summing.
+    resilience_counters: Dict[str, int] = field(default_factory=dict)
+    faults_dropped: int = 0
+    peers_joined: int = 0
+    peers_departed: int = 0
 
 
 def _foreign_handler(name: str, shard_id: int):
@@ -179,7 +178,7 @@ class ShardSession:
                 net.network._handlers[name] = _foreign_handler(name, shard_id)
         if "orderer" not in owned:
             net.network._handlers["orderer"] = _foreign_handler("orderer", shard_id)
-        self._arm_faults()
+        self.schedule = compile_fault_schedule(spec.faults, net, owned=owned)
         for name in self.owned_peers:
             net.peers[name].start()
         if "orderer" in owned:
@@ -191,47 +190,6 @@ class ShardSession:
                     (index + 1) * config.block_period,
                     net.orderer.emit_block,
                     transactions,
-                )
-
-    def _arm_faults(self) -> None:
-        net = self.net
-        sim = net.sim
-        owned = self.owned
-        for event in self.spec.faults:
-            if isinstance(event, CrashEvent):
-                for name in _resolve_crash_peers(event, net):
-                    if name in owned:
-                        CrashSchedule(
-                            net.peers[name],
-                            crash_at=event.at,
-                            recover_at=event.recover_at,
-                        ).arm(sim)
-                    else:
-                        # Foreign crash: every shard needs the network-level
-                        # disconnect flags (sends to a dead peer drop at
-                        # send time, on the sender's shard); the peer's
-                        # full lifecycle runs only on its owner shard.
-                        sim.schedule_at(
-                            event.at, net.network.set_disconnected, name, True
-                        )
-                        if event.recover_at is not None:
-                            sim.schedule_at(
-                                event.recover_at,
-                                net.network.set_disconnected,
-                                name,
-                                False,
-                            )
-            elif isinstance(event, PartitionEvent):
-                fault = PartitionFault(
-                    net.network, _resolve_islands(event, net), active=False
-                )
-                sim.schedule_at(event.at, fault.activate)
-                if event.heal_at is not None:
-                    sim.schedule_at(event.heal_at, fault.heal)
-            else:
-                raise ShardWorkerError(
-                    f"fault event {type(event).__name__} cannot run sharded "
-                    "(the plan should have forced shards=1)"
                 )
 
     # ----- command handling (shared by inline and process transports) ----
@@ -262,7 +220,10 @@ class ShardSession:
             return False
         block_count = self.config.blocks
         for name in self.owned_peers:
-            chain = self.net.peers[name].blockchain
+            peer = self.net.peers[name]
+            if peer.departed:
+                continue  # left the membership for good; will never catch up
+            chain = peer.blockchain
             if chain.max_known_number() < block_count - 1:
                 return False
             if chain.missing_ranges(block_count):
@@ -282,6 +243,12 @@ class ShardSession:
                 net.peers[name].blocks_received_via.get("recovery", 0)
                 for name in self.owned_peers
             ),
+            resilience_counters=peer_resilience_counters(
+                net.peers[name] for name in self.owned_peers
+            ),
+            faults_dropped=self.schedule.dropped_messages,
+            peers_joined=self.schedule.peers_joined,
+            peers_departed=self.schedule.peers_departed,
         )
 
 
@@ -336,6 +303,19 @@ def merge_shard_results(
         tracker.merge_from(result.tracker)
     stats = tracker.summary()
     totals = monitor.totals
+    counters: Dict[str, int] = {}
+    for result in ordered:
+        for name, value in result.resilience_counters.items():
+            counters[name] = counters.get(name, 0) + value
+    # Membership counters are replicated global state (every shard applies
+    # every join/leave), so shard 0's copy IS the global count.
+    peers_departed = ordered[0].peers_departed
+    resilience = resilience_snapshot(
+        counters, tracker, spec.n_peers - peers_departed
+    )
+    resilience["faults_dropped"] = sum(result.faults_dropped for result in ordered)
+    resilience["peers_joined"] = ordered[0].peers_joined
+    resilience["peers_departed"] = peers_departed
     return {
         "scenario": spec.name,
         "seed": seed,
@@ -350,6 +330,7 @@ def merge_shard_results(
         "by_kind_bytes": dict(sorted(totals.by_kind_bytes.items())),
         "dropped_messages": sum(result.dropped_messages for result in ordered),
         "blocks_via_recovery": sum(result.blocks_via_recovery for result in ordered),
+        "resilience": resilience,
     }
 
 

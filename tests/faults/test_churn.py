@@ -1,0 +1,111 @@
+"""Unit tests for the churn engine: runtime joins and departures.
+
+Membership mutations ride the view layer's bound samplers (the
+population *list objects* are mutated in place), so joins and leaves are
+visible to every future gossip draw without rebinding anything.
+"""
+
+import pytest
+
+from repro.experiments.builders import build_network
+from repro.faults.churn import ChurnController
+from repro.faults.schedule import JoinEvent, LeaveEvent, compile_fault_schedule
+from repro.gossip.config import EnhancedGossipConfig
+
+
+def churn_net():
+    net = build_network(
+        n_peers=8, gossip=EnhancedGossipConfig.paper_f4(), organizations=2, seed=1
+    )
+    return net
+
+
+def test_hold_out_removes_joiner_from_every_view_until_admission():
+    net = churn_net()
+    controller = ChurnController(net)
+    controller.schedule_join(1.0, ["peer-7"])
+    joiner = net.peers["peer-7"]
+    assert joiner.defer_start is True
+    for peer in net.peers.values():
+        if peer.name != "peer-7":
+            assert "peer-7" not in peer.view.org_others
+            assert "peer-7" not in peer.view.channel_others
+    net.start()  # held-out peers must not arm their timers
+    net.sim.run(until=2.0)
+    assert joiner.defer_start is False
+    assert controller.peers_joined == 1
+    # peer-7 sits in org1 (round-robin): org peers see it in both
+    # populations, cross-org peers in the channel population only.
+    assert "peer-7" in net.peers["peer-5"].view.org_others
+    assert "peer-7" in net.peers["peer-0"].view.channel_others
+    assert "peer-7" not in net.peers["peer-0"].view.org_others
+
+
+def test_leave_removes_peer_for_good():
+    net = churn_net()
+    controller = ChurnController(net)
+    net.start()
+    controller.schedule_leave(1.0, ["peer-6"])
+    net.sim.run(until=2.0)
+    leaver = net.peers["peer-6"]
+    assert leaver.departed is True
+    assert controller.peers_departed == 1
+    for peer in net.peers.values():
+        if peer.name != "peer-6":
+            assert "peer-6" not in peer.view.org_others
+            assert "peer-6" not in peer.view.channel_others
+
+
+def test_completion_predicate_skips_departed_peers():
+    net = churn_net()
+    controller = ChurnController(net)
+    net.start()
+    controller.schedule_leave(0.5, ["peer-6"])
+    net.sim.run(until=1.0)
+    # Nobody holds any block, so with zero expected blocks everyone is
+    # trivially complete — the departed peer must not break that.
+    assert net.all_peers_received(0)
+    assert not net.all_peers_received(1)
+
+
+def test_sharded_controller_flips_membership_everywhere_but_lifecycle_owner_only():
+    net = churn_net()
+    controller = ChurnController(net, owned=frozenset({"peer-0", "orderer"}))
+    net.start()
+    controller.schedule_join(1.0, ["peer-7"])
+    net.sim.run(until=2.0)
+    # Membership (global state) flipped on this shard even though the
+    # joiner is foreign...
+    assert "peer-7" in net.peers["peer-5"].view.org_others
+    assert controller.peers_joined == 1
+    # ...but the foreign joiner's timers were not armed here.
+    assert net.peers["peer-7"].gossip.push.digests_sent == 0
+
+
+def test_join_event_compiles_through_the_schedule():
+    net = churn_net()
+    schedule = compile_fault_schedule(
+        [JoinEvent(at=1.0, peers=("peer-7",)), LeaveEvent(at=2.0, peers=("peer-6",))],
+        net,
+    )
+    assert len(schedule.churn) == 1  # one shared controller for all churn
+    net.start()
+    net.sim.run(until=3.0)
+    assert schedule.peers_joined == 1
+    assert schedule.peers_departed == 1
+
+
+def test_churn_events_validate():
+    with pytest.raises(ValueError):
+        JoinEvent(at=0.0, peers=("p",))  # members from t=0 need no event
+    with pytest.raises(ValueError):
+        JoinEvent(at=1.0)  # no selector
+    with pytest.raises(ValueError):
+        LeaveEvent(at=1.0, peers=("p",), regular_slice=(0, 1))  # both selectors
+
+
+def test_churn_refuses_leaders():
+    net = churn_net()
+    leader = sorted(net.leaders.values())[0]
+    with pytest.raises(ValueError, match="leaders"):
+        compile_fault_schedule([LeaveEvent(at=1.0, peers=(leader,))], net)

@@ -17,7 +17,7 @@ from repro.scenarios.sharded import (
     plan_for,
     run_scenario_sharded,
 )
-from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+from repro.scenarios.spec import RegionTopology, ScenarioSpec, WorkloadSpec
 
 
 def _tiny_spec(**overrides):
@@ -46,11 +46,12 @@ def test_plan_for_lan_scenario_round_robins_peers():
     assert plan.lookahead == pytest.approx(0.012)
 
 
-def test_plan_for_degrade_faults_forces_single():
+def test_plan_for_degrade_faults_no_longer_forces_single():
+    # Degrade faults draw from per-source streams now, so they shard.
     spec = _tiny_spec(faults=(DegradeEvent(at=1.0, restore_at=2.0),))
     plan = plan_for(spec, shards=4)
-    assert plan.shards == 1
-    assert "faults:degrade" in plan.forced_reason
+    assert plan.shards == 4
+    assert plan.forced_reason is None
 
 
 def test_plan_for_wan_scenario_is_region_aligned():
@@ -63,7 +64,8 @@ def test_plan_for_wan_scenario_is_region_aligned():
 
 
 def test_run_scenario_sharded_falls_back_to_single():
-    spec = _tiny_spec(faults=(DegradeEvent(at=1.0, restore_at=2.0),))
+    # A one-region topology cannot be region-partitioned into two shards.
+    spec = _tiny_spec(topology=RegionTopology(regions=("solo",)))
     run = run_scenario_sharded(spec, seed=1, shards=4, mode="inline")
     assert run.mode == "single"
     assert run.plan.forced_reason
@@ -116,7 +118,7 @@ def test_sharded_gate_flags_forced_single_plans():
     exercising nothing sharded."""
     from repro.perf import check_sharded_determinism
 
-    spec = _tiny_spec(faults=(DegradeEvent(at=1.0, restore_at=2.0),))
+    spec = _tiny_spec(topology=RegionTopology(regions=("solo",)))
     diff = []
     mismatches = check_sharded_determinism(
         shards=4,
