@@ -17,6 +17,16 @@ worker processes (the merged report is byte-identical for any --jobs);
 ``run`` executes one scenario for one seed, optionally sharded across
 worker processes (``--shards N``; the merged snapshot is bit-for-bit
 identical to ``--shards 1`` — see docs/sharding.md).
+
+Both ``run`` and ``sweep`` execute under supervision: failed workers are
+retried (``--retries``, exponential ``--backoff``), ``run --degrade``
+falls back to single-process execution after retries are exhausted, and
+``--health-json`` exports the :class:`~repro.metrics.runhealth.RunHealth`
+ledger (``run --json`` embeds it as the ``run_health`` key, which
+``scripts/diff_snapshots.py`` ignores). ``--chaos``/``--chaos-cells``
+inject runner faults for supervision testing. Exit codes are distinct:
+``2`` for usage errors (unknown scenario, bad flags), ``3`` for a worker
+failure that survived every recovery rung.
 """
 
 from __future__ import annotations
@@ -34,6 +44,21 @@ from repro.experiments.figures import (
 from repro.experiments.scaling import render_scaling_study, run_scaling_study
 from repro.experiments.tables import render_table2, run_table2
 from repro.scenarios import SweepRunner, iter_scenarios, scenario_names
+
+# Exit codes: 0 success, 2 usage error (argparse default for bad flags,
+# also unknown scenario), 3 worker failure after every recovery rung.
+EXIT_USAGE = 2
+EXIT_WORKER_FAILURE = 3
+
+
+def _write_health_json(path: Optional[str], health) -> None:
+    if path is None or health is None:
+        return
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(health.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -53,19 +78,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"unknown scenario {args.scenario!r}; try 'list'",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     if args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    if args.retries < 0:
+        print("--retries must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    chaos = None
+    if args.chaos_cells:
+        from repro.faults.chaos import SweepChaos
+
+        try:
+            crash_seeds = tuple(
+                int(part) for part in args.chaos_cells.split(",") if part
+            )
+        except ValueError:
+            print(
+                f"bad --chaos-cells {args.chaos_cells!r}: expected SEED[,SEED...]",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        chaos = SweepChaos(crash_seeds=crash_seeds)
+    from repro.metrics.runhealth import RunHealth
+    from repro.scenarios.sweep import SweepCellError
+
+    health = RunHealth()
     seeds = list(range(args.base_seed, args.base_seed + args.seeds))
-    report = SweepRunner(jobs=args.jobs).run(args.scenario, seeds=seeds, full=args.full)
+    runner = SweepRunner(
+        jobs=args.jobs,
+        retries=args.retries,
+        backoff=args.backoff,
+        cell_timeout=args.cell_timeout,
+        chaos=chaos,
+    )
+    try:
+        report = runner.run(args.scenario, seeds=seeds, full=args.full, health=health)
+    except SweepCellError as exc:
+        _write_health_json(args.health_json, health)
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return EXIT_WORKER_FAILURE
+    _write_health_json(args.health_json, health)
     if args.json:
         print(report.to_json())
     else:
         print(report.render())
+        rescued = sum(
+            1 for cell in health.cells.values() if cell.get("rescued_by")
+        )
+        if rescued:
+            print(
+                f"  run health: {rescued} cell(s) rescued "
+                f"({health.retries} extra attempt(s))"
+            )
     return 0
 
 
@@ -77,22 +145,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"unknown scenario {args.scenario!r}; try 'list'",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
-        return 2
-    from repro.scenarios import run_scenario_sharded
+        return EXIT_USAGE
+    if args.retries < 0:
+        print("--retries must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    chaos = None
+    if args.chaos:
+        from repro.faults.chaos import parse_shard_chaos
 
-    run = run_scenario_sharded(
-        args.scenario,
-        seed=args.seed,
-        shards=args.shards,
-        mode=args.mode,
-        full=args.full,
-    )
+        try:
+            chaos = parse_shard_chaos(args.chaos)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return EXIT_USAGE
+    from repro.metrics.runhealth import RunHealth
+    from repro.scenarios import run_scenario_sharded
+    from repro.scenarios.sharded import ShardWorkerError
+    from repro.simulation.sharded import SupervisionConfig
+
+    supervision = None
+    if args.response_timeout is not None:
+        supervision = SupervisionConfig(response_timeout=args.response_timeout)
+    health = RunHealth()
+    try:
+        run = run_scenario_sharded(
+            args.scenario,
+            seed=args.seed,
+            shards=args.shards,
+            mode=args.mode,
+            full=args.full,
+            retries=args.retries,
+            backoff=args.backoff,
+            degrade=args.degrade,
+            chaos=chaos,
+            supervision=supervision,
+            health=health,
+        )
+    except ShardWorkerError as exc:
+        _write_health_json(args.health_json, health)
+        print(
+            f"worker failure after {health.attempts} attempt(s): {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_WORKER_FAILURE
+    _write_health_json(args.health_json, health)
     snapshot = run.snapshot()
     if args.json:
-        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        payload = dict(snapshot)
+        payload["run_health"] = health.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         plan = run.plan
         if plan.shards > 1:
@@ -108,6 +212,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         else:
             print(f"{args.scenario} seed={run.seed}: single-process")
+        if health.restarts or health.degradations:
+            tail = ", degraded to single-process" if health.degradations else ""
+            print(
+                f"  supervision: {health.attempts} attempt(s), "
+                f"{health.restarts} restart(s){tail}"
+            )
         for key in sorted(snapshot):
             if key in ("scenario", "seed", "by_kind_bytes", "resilience"):
                 continue
@@ -253,6 +363,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (merged output is identical for any value)")
     sweep.add_argument("--full", action="store_true", help="paper-scale workload")
     sweep.add_argument("--json", action="store_true", help="print the merged JSON report")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="fresh-process retries per failed cell before the "
+                            "inline fallback (default 1)")
+    sweep.add_argument("--backoff", type=float, default=0.5,
+                       help="base seconds before retry k (backoff * 2**(k-1))")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       help="seconds to wait for any pool result; unaccounted "
+                            "cells enter the recovery ladder")
+    sweep.add_argument("--health-json", metavar="PATH", default=None,
+                       help="write the RunHealth ledger to PATH (written even "
+                            "when the sweep fails)")
+    sweep.add_argument("--chaos-cells", metavar="SEEDS", default=None,
+                       help="chaos: comma-separated seeds whose first cell "
+                            "attempt crashes (supervision testing)")
     sweep.set_defaults(func=_cmd_sweep)
 
     run = sub.add_parser(
@@ -269,7 +393,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sharded execution mode (default auto: one OS "
                           "process per shard)")
     run.add_argument("--full", action="store_true", help="paper-scale workload")
-    run.add_argument("--json", action="store_true", help="print the snapshot as JSON")
+    run.add_argument("--json", action="store_true",
+                     help="print the snapshot as JSON (plus a run_health key; "
+                          "scripts/diff_snapshots.py ignores it)")
+    run.add_argument("--retries", type=int, default=1,
+                     help="full-run retries after a worker failure "
+                          "(deterministic re-execution; default 1)")
+    run.add_argument("--backoff", type=float, default=0.5,
+                     help="base seconds before retry k (backoff * 2**(k-1))")
+    run.add_argument("--degrade", action="store_true",
+                     help="after retries are exhausted, re-execute "
+                          "single-process inline instead of failing")
+    run.add_argument("--response-timeout", type=float, default=None,
+                     help="seconds a worker may stay silent on one command "
+                          "before it is declared wedged (default 600)")
+    run.add_argument("--health-json", metavar="PATH", default=None,
+                     help="write the RunHealth ledger to PATH (written even "
+                          "when the run fails)")
+    run.add_argument("--chaos", metavar="SPEC", default=None,
+                     help="chaos: MODE:SHARD@WINDOW (e.g. kill:1@3; modes "
+                          "kill/raise/wedge/close/delay; '!' suffix fires on "
+                          "every attempt)")
     run.set_defaults(func=_cmd_run)
     return parser
 

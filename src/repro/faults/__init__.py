@@ -9,7 +9,10 @@ asymmetric flaky links — see :mod:`repro.faults.adversaries` and
 docs/faults.md), and runtime membership churn (flash-crowd joins, mass
 departures — :mod:`repro.faults.churn`). The scenario subsystem's
 declarative fault events compile onto all of these
-(:mod:`repro.faults.schedule`).
+(:mod:`repro.faults.schedule`). One module points the other way:
+:mod:`repro.faults.chaos` breaks the *execution runtime* (shard workers,
+sweep cells) rather than the simulated system, to test the supervision
+layer itself.
 """
 
 from repro.faults.adversaries import (
@@ -17,6 +20,12 @@ from repro.faults.adversaries import (
     EclipseFault,
     FlakyLinkFault,
     LazyForwarderFault,
+)
+from repro.faults.chaos import (
+    ChaosInjected,
+    ShardChaos,
+    SweepChaos,
+    parse_shard_chaos,
 )
 from repro.faults.churn import ChurnController
 from repro.faults.injectors import (
@@ -43,6 +52,7 @@ from repro.faults.schedule import (
 
 __all__ = [
     "AdversaryEvent",
+    "ChaosInjected",
     "ChurnController",
     "CrashEvent",
     "CrashSchedule",
@@ -61,7 +71,10 @@ __all__ = [
     "PacketLossFault",
     "PartitionEvent",
     "PartitionFault",
+    "ShardChaos",
     "SilentPeerFault",
+    "SweepChaos",
     "TeasingPeerFault",
     "compile_fault_schedule",
+    "parse_shard_chaos",
 ]

@@ -3,7 +3,10 @@
 Collects exactly the quantities the paper's evaluation reports: per-peer
 and per-block first-reception latency distributions (Figs. 4/5/7/8/12/13),
 bandwidth time series aggregated over 10-second windows (Figs. 6/9/10/11/14)
-and validation-time conflict counts (Table II).
+and validation-time conflict counts (Table II). One module measures the
+runner instead of the protocol: :mod:`repro.metrics.runhealth` tracks how
+the supervised execution runtime (shard workers, sweep cells) survived
+its own failures.
 """
 
 from repro.metrics.bandwidth import BandwidthReport, aggregate_series
@@ -11,12 +14,14 @@ from repro.metrics.conflicts import ConflictTracker
 from repro.metrics.latency import DisseminationTracker, LatencyStats
 from repro.metrics.probability_plot import logistic_probability_points, logit
 from repro.metrics.report import format_table
+from repro.metrics.runhealth import RunHealth
 
 __all__ = [
     "BandwidthReport",
     "ConflictTracker",
     "DisseminationTracker",
     "LatencyStats",
+    "RunHealth",
     "aggregate_series",
     "format_table",
     "logistic_probability_points",

@@ -36,6 +36,7 @@ bit-for-bit at any shard count (docs/faults.md).
 from __future__ import annotations
 
 import multiprocessing
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -46,9 +47,11 @@ from repro.experiments.builders import (
 )
 from repro.fabric.config import PeerConfig, ValidationMode
 from repro.experiments.workloads import synthetic_block_transactions
+from repro.faults.chaos import ChaosInjected, ShardChaos
 from repro.faults.schedule import compile_fault_schedule
 from repro.metrics.latency import DisseminationTracker
 from repro.metrics.resilience import peer_resilience_counters, resilience_snapshot
+from repro.metrics.runhealth import RunHealth
 from repro.net.monitor import TrafficMonitor
 from repro.net.network import NetworkConfig
 from repro.scenarios.registry import get_scenario
@@ -58,15 +61,23 @@ from repro.simulation.sharded import (
     InlineTransport,
     PipeTransport,
     ShardPlan,
+    ShardWorkerError,
+    SupervisionConfig,
     WindowedCoordinator,
     plan_shards,
 )
 
+__all__ = [
+    "ShardSession",
+    "ShardWorkerError",
+    "ShardedScenarioRun",
+    "merge_shard_results",
+    "plan_for",
+    "run_scenario_sharded",
+    "sharded_scenario_snapshot",
+]
+
 _ERROR_SENTINEL = "__shard_error__"
-
-
-class ShardWorkerError(RuntimeError):
-    """A shard worker raised; carries the remote traceback text."""
 
 
 def plan_for(
@@ -145,11 +156,25 @@ class ShardSession:
         plan: ShardPlan,
         shard_id: int,
         full: bool = False,
+        chaos: Optional[ShardChaos] = None,
+        attempt: int = 1,
     ) -> None:
         self.spec = spec
         self.seed = seed
         self.plan = plan
         self.shard_id = shard_id
+        # "raise"-mode chaos fires here, inside the command handler, so
+        # it works on inline transports too; process-level modes (kill,
+        # wedge, close, delay) fire in _shard_worker_main.
+        self._chaos = (
+            chaos
+            if chaos is not None
+            and chaos.mode == "raise"
+            and chaos.applies(shard_id, attempt)
+            else None
+        )
+        self._chaos_rng = self._chaos.make_rng() if self._chaos else None
+        self._windows_seen = 0
         config = dissemination_config(spec, seed=seed, full=full)
         self.config = config
         self.workload_end = config.blocks * config.block_period
@@ -197,6 +222,14 @@ class ShardSession:
     def handle(self, command):
         op, time, records = command
         if op == "window":
+            self._windows_seen += 1
+            if self._chaos is not None and self._chaos.fires(
+                self._windows_seen, self._chaos_rng
+            ):
+                raise ChaosInjected(
+                    f"chaos: shard {self.shard_id} raised at window command "
+                    f"#{self._windows_seen} (t={time})"
+                )
             if records:
                 self.net.network.inject_shard_records(records)
             self.net.sim.run_window(time)
@@ -252,32 +285,85 @@ class ShardSession:
         )
 
 
-def _shard_worker_main(conn, spec, seed, shards, shard_id, full) -> None:
+def _report_worker_error(conn, shard_id, command) -> None:
+    """Best-effort: ship the traceback sentinel before going down."""
+    import traceback
+
+    try:
+        conn.send(
+            (
+                _ERROR_SENTINEL,
+                {
+                    "traceback": traceback.format_exc(),
+                    "shard_id": shard_id,
+                    "command": command,
+                },
+            )
+        )
+    except (BrokenPipeError, OSError):
+        pass
+
+
+def _shard_worker_main(
+    conn, spec, seed, shards, shard_id, full, chaos=None, attempt=1
+) -> None:
     """Process-mode worker loop: build the session, serve commands."""
+    op = None
+    chaos_armed = (
+        chaos is not None
+        and chaos.mode != "raise"
+        and chaos.applies(shard_id, attempt)
+    )
+    chaos_rng = chaos.make_rng() if chaos_armed else None
+    windows_seen = 0
     try:
         plan = plan_for(spec, shards, seed=seed, full=full)
-        session = ShardSession(spec, seed, plan, shard_id, full=full)
+        session = ShardSession(
+            spec, seed, plan, shard_id, full=full, chaos=chaos, attempt=attempt
+        )
         while True:
             command = conn.recv()
-            if command[0] == "exit":
+            op = command[0]
+            if op == "exit":
                 return
+            if chaos_armed and op == "window":
+                windows_seen += 1
+                if chaos.fires(windows_seen, chaos_rng):
+                    # kill/close never return; wedge/delay sleep, then
+                    # the command is served (late) below.
+                    chaos.act_in_process(conn)
             conn.send(session.handle(command))
+            op = None
     except EOFError:
         return
+    except (KeyboardInterrupt, SystemExit):
+        # Report the sentinel for the coordinator's benefit, then
+        # RE-RAISE: swallowing these would leave Ctrl-C'd workers alive.
+        _report_worker_error(conn, shard_id, op)
+        raise
     except BaseException:
-        import traceback
-
-        try:
-            conn.send((_ERROR_SENTINEL, traceback.format_exc()))
-        except (BrokenPipeError, OSError):
-            pass
+        _report_worker_error(conn, shard_id, op)
 
 
 class _CheckedPipeTransport(PipeTransport):
     def collect_response(self):
         response = super().collect_response()
         if isinstance(response, tuple) and response and response[0] == _ERROR_SENTINEL:
-            raise ShardWorkerError(response[1])
+            payload = response[1]
+            if isinstance(payload, dict):  # structured sentinel
+                raise ShardWorkerError(
+                    "worker raised",
+                    shard_id=payload.get("shard_id", self.shard_id),
+                    last_window=self.last_window,
+                    command=payload.get("command"),
+                    remote_traceback=payload.get("traceback"),
+                )
+            raise ShardWorkerError(
+                "worker raised",
+                shard_id=self.shard_id,
+                last_window=self.last_window,
+                remote_traceback=str(payload),
+            )
         return response
 
 
@@ -336,16 +422,88 @@ def merge_shard_results(
 
 @dataclass
 class ShardedScenarioRun:
-    """Outcome of one sharded scenario run for one seed."""
+    """Outcome of one sharded scenario run for one seed.
+
+    ``mode`` records how the snapshot was actually produced: a transport
+    mode (``"processes"``/``"inline"``), ``"single"`` for a plan that
+    resolved to one shard, or ``"degraded"`` when the supervision ladder
+    exhausted its retries and re-executed single-process inline.
+    """
 
     spec: ScenarioSpec
     seed: int
     plan: ShardPlan
     mode: str
     _snapshot: dict = field(repr=False)
+    health: Optional[RunHealth] = None
 
     def snapshot(self) -> dict:
         return self._snapshot
+
+
+def _run_sharded_attempt(
+    spec: ScenarioSpec,
+    seed: int,
+    shards: int,
+    plan: ShardPlan,
+    mode: str,
+    full: bool,
+    chaos: Optional[ShardChaos],
+    attempt: int,
+    supervision: SupervisionConfig,
+    health: RunHealth,
+) -> dict:
+    """One supervised execution attempt: build transports, drive the
+    window protocol, merge. Raises ShardWorkerError on worker failure
+    (all siblings already reaped by the coordinator)."""
+    config = dissemination_config(spec, seed=seed, full=full)
+    workload_end = config.blocks * config.block_period
+    deadline = workload_end + config.grace_period
+    if mode == "inline":
+        transports = [
+            InlineTransport(
+                ShardSession(
+                    spec, seed, plan, shard_id, full=full, chaos=chaos, attempt=attempt
+                )
+            )
+            for shard_id in range(plan.shards)
+        ]
+    elif mode == "processes":
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        transports = []
+        for shard_id in range(plan.shards):
+            parent, child = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child, spec, seed, shards, shard_id, full, chaos, attempt),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            transports.append(
+                _CheckedPipeTransport(
+                    parent, process, shard_id=shard_id, supervision=supervision
+                )
+            )
+    else:
+        raise ValueError(f"unknown sharded mode {mode!r}")
+    coordinator = WindowedCoordinator(
+        transports,
+        plan,
+        workload_end=workload_end,
+        deadline=deadline,
+        idle_tail=config.idle_tail,
+        health=health,
+    )
+    try:
+        coordinator.run()
+        results = coordinator.collect()
+    finally:
+        coordinator.close()
+    return merge_shard_results(spec, seed, results)
 
 
 def run_scenario_sharded(
@@ -354,6 +512,12 @@ def run_scenario_sharded(
     shards: Optional[int] = None,
     mode: str = "auto",
     full: bool = False,
+    retries: int = 0,
+    backoff: float = 0.5,
+    degrade: bool = False,
+    chaos: Optional[ShardChaos] = None,
+    supervision: Optional[SupervisionConfig] = None,
+    health: Optional[RunHealth] = None,
 ) -> ShardedScenarioRun:
     """Build, partition and drive one scenario run across shard workers.
 
@@ -368,62 +532,94 @@ def run_scenario_sharded(
             results, no parallelism), or ``"auto"`` (processes when the
             platform has fork or spawn, else inline).
         full: run the spec's paper-scale workload.
+        retries: extra full-run attempts after a worker failure. The run
+            is bit-for-bit deterministic, so re-execution from scratch
+            is a *correct* recovery — the retried snapshot is the
+            snapshot the failed run would have produced.
+        backoff: base sleep before retry ``k`` (``backoff * 2**(k-1)``
+            seconds) — headroom for the transient cause (memory
+            pressure, a rebooting core) to clear.
+        degrade: after all retries fail, re-execute single-process
+            inline (shards -> 1). Identical physics, no worker processes
+            left to lose; ``mode`` reads ``"degraded"`` and the health
+            report records why. Off by default so determinism gates can
+            never silently pass on a degraded run.
+        chaos: a :class:`~repro.faults.chaos.ShardChaos` injector for
+            supervision tests (kill/wedge/close/delay need
+            ``mode="processes"``).
+        supervision: poll/deadline/teardown tuning
+            (:class:`~repro.simulation.sharded.SupervisionConfig`).
+        health: a :class:`~repro.metrics.runhealth.RunHealth` to append
+            to; one is created (and returned on the run) if omitted.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     if seed is None:
         seed = spec.seeds[0]
     if shards is None:
         shards = spec.shards
+    if health is None:
+        health = RunHealth()
+    supervision = supervision or SupervisionConfig()
     plan = plan_for(spec, shards, seed=seed, full=full)
     if plan.shards == 1:
+        health.attempts += 1
         run = run_scenario(spec, seed=seed, full=full)
         return ShardedScenarioRun(
-            spec=spec, seed=seed, plan=plan, mode="single", _snapshot=run.snapshot()
+            spec=spec,
+            seed=seed,
+            plan=plan,
+            mode="single",
+            _snapshot=run.snapshot(),
+            health=health,
         )
-    config = dissemination_config(spec, seed=seed, full=full)
-    workload_end = config.blocks * config.block_period
-    deadline = workload_end + config.grace_period
     if mode == "auto":
         mode = "processes"
-    if mode == "inline":
-        transports = [
-            InlineTransport(ShardSession(spec, seed, plan, shard_id, full=full))
-            for shard_id in range(plan.shards)
-        ]
-    elif mode == "processes":
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else methods[0]
+    if chaos is not None and mode == "inline" and chaos.mode != "raise":
+        raise ValueError(
+            f"chaos mode {chaos.mode!r} needs worker processes; "
+            "inline transports only support 'raise'"
         )
-        transports = []
-        for shard_id in range(plan.shards):
-            parent, child = context.Pipe(duplex=True)
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(child, spec, seed, shards, shard_id, full),
-                daemon=True,
+    attempts = max(1, retries + 1)
+    last_error: Optional[ShardWorkerError] = None
+    for attempt in range(1, attempts + 1):
+        health.attempts += 1
+        if attempt > 1:
+            health.restarts += 1
+            if backoff > 0:
+                _time.sleep(backoff * 2 ** (attempt - 2))
+        try:
+            snapshot = _run_sharded_attempt(
+                spec, seed, shards, plan, mode, full, chaos, attempt,
+                supervision, health,
             )
-            process.start()
-            child.close()
-            transports.append(_CheckedPipeTransport(parent, process))
-    else:
-        raise ValueError(f"unknown sharded mode {mode!r}")
-    coordinator = WindowedCoordinator(
-        transports,
-        plan,
-        workload_end=workload_end,
-        deadline=deadline,
-        idle_tail=config.idle_tail,
-    )
-    try:
-        coordinator.run()
-        results = coordinator.collect()
-    finally:
-        coordinator.close()
-    snapshot = merge_shard_results(spec, seed, results)
-    return ShardedScenarioRun(
-        spec=spec, seed=seed, plan=plan, mode=mode, _snapshot=snapshot
-    )
+            return ShardedScenarioRun(
+                spec=spec,
+                seed=seed,
+                plan=plan,
+                mode=mode,
+                _snapshot=snapshot,
+                health=health,
+            )
+        except ShardWorkerError as exc:
+            health.record_error(exc)
+            last_error = exc
+    if degrade:
+        health.attempts += 1
+        health.record_degradation(
+            f"sharded run failed {attempts} attempt(s) "
+            f"({last_error.reason if last_error else 'unknown'}); "
+            "re-executed single-process inline (shards -> 1)"
+        )
+        run = run_scenario(spec, seed=seed, full=full)
+        return ShardedScenarioRun(
+            spec=spec,
+            seed=seed,
+            plan=plan,
+            mode="degraded",
+            _snapshot=run.snapshot(),
+            health=health,
+        )
+    raise last_error
 
 
 def sharded_scenario_snapshot(

@@ -68,12 +68,27 @@ The engine-internal ``events_executed`` counter is the one quantity that
 legitimately differs across shard counts (exact-tie delivery grouping is
 shard-local), which is why the sharded determinism gate compares every
 golden metric *except* it.
+
+Supervision
+-----------
+
+Worker processes are supervised, not trusted: replies are collected via
+a poll loop with liveness checks and a response deadline
+(:class:`SupervisionConfig`), so a worker that is OOM-killed, wedged or
+disconnected raises a structured :class:`ShardWorkerError` — shard id,
+last completed window, command in flight, exit code — instead of
+hanging the coordinator on a bare ``recv()``; the coordinator then
+terminates and reaps every sibling. Because runs are bit-for-bit
+deterministic, recovery is deterministic re-execution, implemented one
+layer up (:func:`repro.scenarios.sharded.run_scenario_sharded`'s retry/
+degradation ladder; see docs/sharding.md, "Failure modes and recovery").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil
+from time import monotonic, perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 # Below this lookahead the barrier grid would need >1000 windows per
@@ -203,6 +218,68 @@ def plan_shards(
     )
 
 
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed: died, wedged, closed its pipe, or raised.
+
+    Structured so the supervisor (and :class:`~repro.metrics.runhealth.
+    RunHealth`) can record exactly what was lost: which shard, the last
+    window barrier it completed, the command that was in flight, the OS
+    exit code when the process is gone, and the remote traceback when
+    the worker managed to report one before dying.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        shard_id: Optional[int] = None,
+        last_window: Optional[float] = None,
+        command: Optional[str] = None,
+        exitcode: Optional[int] = None,
+        remote_traceback: Optional[str] = None,
+    ) -> None:
+        self.reason = reason
+        self.shard_id = shard_id
+        self.last_window = last_window
+        self.command = command
+        self.exitcode = exitcode
+        self.remote_traceback = remote_traceback
+        details = []
+        if shard_id is not None:
+            details.append(f"shard={shard_id}")
+        if command is not None:
+            details.append(f"command={command!r}")
+        if last_window is not None:
+            details.append(f"last_completed_window={last_window}")
+        if exitcode is not None:
+            details.append(f"exitcode={exitcode}")
+        message = reason if not details else f"{reason} ({', '.join(details)})"
+        if remote_traceback:
+            message = f"{message}\n--- worker traceback ---\n{remote_traceback}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Deadlines and escalation steps of the shard supervisor.
+
+    ``response_timeout`` bounds how long the coordinator waits for one
+    command's reply from a worker that is still *alive* — a wedged
+    worker (stuck in a loop, swapping, blocked on I/O) trips it and
+    raises :class:`ShardWorkerError` instead of hanging the run forever;
+    ``None`` waits indefinitely (liveness checks still catch dead
+    workers within ``poll_interval``). The join timeouts govern teardown
+    escalation: graceful exit -> ``terminate()`` (SIGTERM) ->
+    ``kill()`` (SIGKILL), each bounded, so not even a SIGKILL-immune
+    worker can block interpreter exit.
+    """
+
+    poll_interval: float = 0.05
+    response_timeout: Optional[float] = 600.0
+    shutdown_join: float = 30.0
+    terminate_join: float = 5.0
+    kill_join: float = 2.0
+
+
 class ShardTransport:
     """Synchronous command channel to one shard worker.
 
@@ -231,16 +308,43 @@ class ShardTransport:
     def close(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def abort(self) -> None:
+        """Tear down immediately after a sibling failed (no graceful exit)."""
+        self.close()
+
 
 class InlineTransport(ShardTransport):
     """Drive a shard session in the coordinator's own process."""
 
-    def __init__(self, session) -> None:
+    def __init__(self, session, shard_id: Optional[int] = None) -> None:
         self.session = session
+        self.shard_id = (
+            shard_id if shard_id is not None else getattr(session, "shard_id", None)
+        )
+        self.last_window: Optional[float] = None
         self._pending: Optional[object] = None
 
     def post(self, command: Tuple) -> None:
-        self._pending = self.session.handle(command)
+        # Uniform failure surface with the process transport: any
+        # exception out of the session's handler becomes a structured
+        # ShardWorkerError, so the supervision ladder above does not
+        # care which transport it is driving.
+        try:
+            self._pending = self.session.handle(command)
+        except ShardWorkerError:
+            raise
+        except Exception as exc:
+            import traceback
+
+            raise ShardWorkerError(
+                f"inline shard session raised: {exc}",
+                shard_id=self.shard_id,
+                last_window=self.last_window,
+                command=command[0],
+                remote_traceback=traceback.format_exc(),
+            ) from exc
+        if command[0] in ("window", "tick"):
+            self.last_window = command[1]
 
     def collect_response(self) -> object:
         response, self._pending = self._pending, None
@@ -253,34 +357,136 @@ class InlineTransport(ShardTransport):
     def close(self) -> None:
         self._pending = None
 
+    def abort(self) -> None:
+        self._pending = None
+
 
 class PipeTransport(ShardTransport):
-    """Drive a shard worker process over a duplex pipe."""
+    """Drive a shard worker process over a duplex pipe, supervised.
 
-    def __init__(self, connection, process) -> None:
+    Replies are collected through a poll loop rather than a bare
+    ``recv()``: every ``poll_interval`` the worker's liveness is checked
+    (``Process.is_alive()`` / ``exitcode``), and an overall
+    ``response_timeout`` bounds how long an *alive* worker may stay
+    silent. A dead, wedged or disconnected worker therefore raises a
+    structured :class:`ShardWorkerError` — never hangs the coordinator.
+    """
+
+    def __init__(
+        self,
+        connection,
+        process,
+        shard_id: Optional[int] = None,
+        supervision: Optional[SupervisionConfig] = None,
+    ) -> None:
         self.connection = connection
         self.process = process
+        self.shard_id = shard_id
+        self.supervision = supervision or SupervisionConfig()
+        self.last_window: Optional[float] = None
+        self._in_flight: Optional[str] = None
+        self._in_flight_time: Optional[float] = None
+        self._closed = False
+
+    def _error(self, reason: str, remote_traceback: Optional[str] = None):
+        # A pipe EOF can race ahead of process reaping: give the worker a
+        # moment to be collected so the exit code makes it into the report.
+        self.process.join(0.2)
+        exitcode = None if self.process.is_alive() else self.process.exitcode
+        return ShardWorkerError(
+            reason,
+            shard_id=self.shard_id,
+            last_window=self.last_window,
+            command=self._in_flight,
+            exitcode=exitcode,
+            remote_traceback=remote_traceback,
+        )
 
     def post(self, command: Tuple) -> None:
-        self.connection.send(command)
+        self._in_flight = command[0]
+        self._in_flight_time = command[1] if command[0] in ("window", "tick") else None
+        try:
+            self.connection.send(command)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._error(f"pipe write failed: {exc}") from exc
 
     def collect_response(self) -> object:
-        return self.connection.recv()
+        supervision = self.supervision
+        deadline = (
+            None
+            if supervision.response_timeout is None
+            else monotonic() + supervision.response_timeout
+        )
+        while True:
+            try:
+                if self.connection.poll(supervision.poll_interval):
+                    response = self.connection.recv()
+                    if self._in_flight_time is not None:
+                        self.last_window = self._in_flight_time
+                    self._in_flight = self._in_flight_time = None
+                    return response
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise self._error(f"pipe closed mid-command: {exc!r}") from exc
+            if not self.process.is_alive():
+                # A final message may still sit in the pipe buffer; loop
+                # once more with a zero-ish poll before declaring death.
+                try:
+                    if self.connection.poll(0):
+                        continue
+                except (EOFError, BrokenPipeError, OSError):
+                    pass
+                raise self._error(
+                    f"worker process died (exit code {self.process.exitcode})"
+                )
+            if deadline is not None and monotonic() > deadline:
+                raise self._error(
+                    f"no response within {supervision.response_timeout}s "
+                    "(worker alive but unresponsive)"
+                )
 
     def request(self, command: Tuple) -> object:
         self.post(command)
         return self.collect_response()
 
+    def _escalate(self) -> None:
+        """join -> terminate -> kill, each bounded, then give up: a
+        SIGKILL-immune worker must not block interpreter exit (it is a
+        daemon process; the interpreter reaps it on shutdown)."""
+        process = self.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=self.supervision.terminate_join)
+        if process.is_alive():  # pragma: no cover - SIGTERM-immune worker
+            kill = getattr(process, "kill", process.terminate)
+            kill()
+            process.join(timeout=self.supervision.kill_join)
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         try:
             self.connection.send(("exit", None, None))
         except (BrokenPipeError, OSError):
             pass
-        self.connection.close()
-        self.process.join(timeout=30)
-        if self.process.is_alive():  # pragma: no cover - defensive teardown
-            self.process.terminate()
-            self.process.join(timeout=5)
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self.process.join(timeout=self.supervision.shutdown_join)
+        self._escalate()
+
+    def abort(self) -> None:
+        """Immediate teardown after a failure: no graceful exit command,
+        straight to terminate/kill so sibling reaping is prompt."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self._escalate()
 
 
 class WindowedCoordinator:
@@ -299,6 +505,7 @@ class WindowedCoordinator:
         workload_end: float,
         deadline: float,
         idle_tail: float = 0.0,
+        health=None,
     ) -> None:
         if len(transports) != plan.shards:
             raise ValueError("one transport per shard required")
@@ -307,11 +514,20 @@ class WindowedCoordinator:
         self.workload_end = workload_end
         self.deadline = deadline
         self.idle_tail = idle_tail
+        self.health = health
         self._pending: List[list] = [[] for _ in transports]
+
+    def _fail(self, error: ShardWorkerError):
+        """A worker failed mid-round: reap every sibling immediately
+        (terminate/kill, bounded joins) and surface the structured error."""
+        for transport in self.transports:
+            transport.abort()
+        raise error
 
     def _round(self, op: str, time: float) -> List[object]:
         """One lockstep exchange: command all shards, gather all replies,
         route the egress batches for the next round."""
+        start = perf_counter()
         transports = self.transports
         pending = self._pending
         for index, transport in enumerate(transports):
@@ -321,13 +537,38 @@ class WindowedCoordinator:
                 # equal-time records in (source shard, send order) — the
                 # deterministic cross-shard tiebreak (docs/sharding.md).
                 batch.sort(key=_record_time)
-            transport.post((op, time, batch))
+            try:
+                transport.post((op, time, batch))
+            except ShardWorkerError as exc:
+                self._fail(exc)
             pending[index] = []
-        replies = [transport.collect_response() for transport in transports]
+        replies: List[object] = []
+        failure: Optional[ShardWorkerError] = None
+        for transport in transports:
+            # Keep collecting after a failure: siblings that answered
+            # this round are drained (not left mid-write), and the FIRST
+            # failure is the one reported.
+            try:
+                replies.append(transport.collect_response())
+            except ShardWorkerError as exc:
+                if failure is None:
+                    failure = exc
+                replies.append(None)
+        if failure is not None:
+            self._fail(failure)
         owner_of = self.plan.owner_of
         for egress, _done in replies:
             for record in egress:
                 pending[owner_of[record[3]]].append(record)
+        if self.health is not None:
+            self.health.record_round(
+                op,
+                [
+                    transport.shard_id if transport.shard_id is not None else index
+                    for index, transport in enumerate(transports)
+                ],
+                perf_counter() - start,
+            )
         return replies
 
     def run(self) -> float:

@@ -1,0 +1,97 @@
+"""Unit tests for the runner-level chaos injectors (repro.faults.chaos)."""
+
+import pytest
+
+from repro.faults.chaos import (
+    KILL_EXIT_CODE,
+    SHARD_CHAOS_MODES,
+    ChaosInjected,
+    ShardChaos,
+    SweepChaos,
+    parse_shard_chaos,
+)
+
+
+def test_shard_chaos_validates_mode_window_probability():
+    with pytest.raises(ValueError, match="unknown chaos mode"):
+        ShardChaos(mode="explode")
+    with pytest.raises(ValueError, match="at_window"):
+        ShardChaos(at_window=0)
+    with pytest.raises(ValueError, match="kill_probability"):
+        ShardChaos(kill_probability=1.5)
+    for mode in SHARD_CHAOS_MODES:
+        ShardChaos(mode=mode)  # all documented modes construct
+
+
+def test_applies_targets_one_shard_and_one_attempt():
+    chaos = ShardChaos(shard_id=1, only_attempt=1)
+    assert chaos.applies(1, 1)
+    assert not chaos.applies(0, 1)  # wrong shard
+    assert not chaos.applies(1, 2)  # retry attempt is spared
+    every = ShardChaos(shard_id=1, only_attempt=None)
+    assert every.applies(1, 1) and every.applies(1, 7)
+
+
+def test_deterministic_firing_at_the_kth_window():
+    chaos = ShardChaos(at_window=3)
+    assert [chaos.fires(i) for i in (1, 2, 3, 4)] == [False, False, True, False]
+
+
+def test_probabilistic_firing_replays_identically():
+    chaos = ShardChaos(kill_probability=0.3, rng_seed=42)
+    draws_a = [chaos.fires(i, chaos.make_rng()) for i in range(1, 2)]
+    rng1, rng2 = chaos.make_rng(), chaos.make_rng()
+    seq1 = [chaos.fires(i, rng1) for i in range(1, 50)]
+    seq2 = [chaos.fires(i, rng2) for i in range(1, 50)]
+    assert seq1 == seq2  # seeded stream: chaos replays deterministically
+    assert any(seq1) and not all(seq1)
+    assert draws_a is not None
+    with pytest.raises(ValueError, match="needs the injector's rng"):
+        chaos.fires(1)
+
+
+def test_kill_exit_code_mimics_oom_killer():
+    assert KILL_EXIT_CODE == 137  # 128 + SIGKILL
+
+
+def test_sweep_chaos_crash_window_and_inline_sparing():
+    chaos = SweepChaos(crash_seeds=(3,), crash_attempts=1)
+    assert chaos.cell_should_crash(3, 1)
+    assert not chaos.cell_should_crash(3, 2)  # retry succeeds
+    assert not chaos.cell_should_crash(4, 1)  # untargeted seed
+    assert not chaos.cell_should_crash(3, 1, inline=True)  # fallback spared
+    harsh = SweepChaos(crash_seeds=(3,), crash_attempts=None, spare_inline=False)
+    assert harsh.cell_should_crash(3, 9, inline=True)
+
+
+def test_sweep_chaos_apply_raises_chaos_injected():
+    chaos = SweepChaos(crash_seeds=(5,))
+    with pytest.raises(ChaosInjected, match="seed=5"):
+        chaos.apply(5, 1)
+    chaos.apply(5, 2)  # attempt 2 passes silently
+    chaos.apply(6, 1)  # untargeted seed passes silently
+
+
+def test_sweep_chaos_slow_cells():
+    chaos = SweepChaos(slow_seeds=(2,), slow_seconds=0.25)
+    assert chaos.cell_delay(2) == 0.25
+    assert chaos.cell_delay(3) == 0.0
+
+
+def test_parse_shard_chaos_specs():
+    chaos = parse_shard_chaos("raise:0@5")
+    assert (chaos.mode, chaos.shard_id, chaos.at_window, chaos.only_attempt) == (
+        "raise", 0, 5, 1,
+    )
+    assert parse_shard_chaos("kill:2@1!").only_attempt is None
+    for bad in ("kill", "kill:1", "kill:x@y", "@", ""):
+        with pytest.raises(ValueError):
+            parse_shard_chaos(bad)
+
+
+def test_shard_chaos_is_picklable():
+    """The spec crosses the process boundary as a worker argument."""
+    import pickle
+
+    chaos = ShardChaos(shard_id=1, at_window=3, mode="wedge")
+    assert pickle.loads(pickle.dumps(chaos)) == chaos

@@ -193,6 +193,37 @@ def _canonicalize_ties(log):
 OWNER_RR = {name: index % 2 for index, name in enumerate(NODES)}
 
 
+def _tie_free_script(raw, make_message):
+    """Build a send script, dropping destination copies that would tie.
+
+    Two copies arriving at one destination at the same physical instant
+    are serialized by its downlink in an order the sharded form may
+    legitimately swap — the documented measure-zero divergence
+    (docs/sharding.md) that ``_canonicalize_ties`` cannot absorb when
+    the tied copies came from *different sources* (delivery times get
+    attributed to swapped senders). Under the constant-latency model an
+    exact arrival tie requires identical ``(send time, size)``: send
+    times are dyadic float16s while transfer-time differences
+    (2·Δsize/bandwidth) are non-dyadic, so distinct pairs can never
+    collide. Dropping duplicate ``(when, size, destination)`` triples
+    therefore makes generated scripts tie-free without losing any other
+    coverage; the engineered-tie tests below cover exact ties on
+    purpose-built dyadic physics instead.
+    """
+    script = []
+    seen = set()
+    for when, src, dsts, size in raw:
+        kept = []
+        for dst in dsts:
+            if dst == src or (when, size, dst) in seen:
+                continue
+            seen.add((when, size, dst))
+            kept.append(dst)
+        if kept:
+            script.append((when, src, kept, make_message(size)))
+    return script
+
+
 sends = st.lists(
     st.tuples(
         st.floats(min_value=0.0, max_value=2.0, allow_nan=False, width=16),
@@ -219,12 +250,7 @@ def test_sharded_script_equals_single_process(raw, seed, latency, disconnect):
         ConstantLatency(0.05) if latency == "constant" else UniformLatency(0.02, 0.08)
     )
     lookahead = 0.05 if latency == "constant" else 0.02
-    script = []
-    for when, src, dsts, size in raw:
-        dsts = [d for d in dsts if d != src]
-        if not dsts:
-            continue
-        script.append((when, src, dsts, RawMessage(size, body="payload")))
+    script = _tie_free_script(raw, lambda size: RawMessage(size, body="payload"))
     if not script:
         return
 
@@ -253,11 +279,7 @@ def test_sharded_partition_crossing_shard_boundary(raw, seed, island):
     """A partition whose islands straddle the shard boundary drops the
     same copies, at the same instants, on both execution forms."""
     model = ConstantLatency(0.04)
-    script = []
-    for when, src, dsts, size in raw:
-        dsts = [d for d in dsts if d != src]
-        if dsts:
-            script.append((when, src, dsts, RawMessage(size)))
+    script = _tie_free_script(raw, RawMessage)
     if not script:
         return
 
