@@ -13,6 +13,8 @@ import math
 import random
 from typing import Callable, List, Optional, Sequence
 
+from repro.simulation._core import make_lan_batch_sampler, make_lan_sampler
+
 
 class LatencyModel:
     """Interface: one-way propagation delay for a (src, dst) pair."""
@@ -323,50 +325,20 @@ class LanLatency(LatencyModel):
             return lambda src, dst: base
         # Inline of rng.lognormvariate(mu, sigma) — the stdlib pair of call
         # frames (lognormvariate -> normalvariate) costs more than the draw
-        # itself on this path. The loop replicates random.normalvariate's
+        # itself on this path. The kernel replicates random.normalvariate's
         # Kinderman-Monahan rejection sampling verbatim (same NV_MAGICCONST,
         # same order of rng.random() consumption), so the draw sequence and
-        # results are bit-for-bit those of the un-bound sample().
-        mu, sigma = self._mu, self.jitter_sigma
-        uniform = rng.random
-        nv_magic = random.NV_MAGICCONST
-        log_, exp_ = math.log, math.exp
-
-        def sample(src: str, dst: str) -> float:
-            while True:
-                u1 = uniform()
-                u2 = 1.0 - uniform()
-                z = nv_magic * (u1 - 0.5) / u2
-                if z * z / 4.0 <= -log_(u2):
-                    break
-            return base + exp_(mu + z * sigma)
-
-        return sample
+        # results are bit-for-bit those of the un-bound sample(). It lives
+        # in repro.simulation._core so the compiled engine accelerates the
+        # per-copy draws too.
+        return make_lan_sampler(rng.random, base, self._mu, self.jitter_sigma)
 
     def bind_batch(self, rng: random.Random) -> "Callable[[str, Sequence[str]], List[float]]":
         base = self.base
         if self._mu is None:
             return lambda src, dsts: [base] * len(dsts)
-        # Same inlined Kinderman-Monahan loop as bind(), one draw per
+        # Same inlined Kinderman-Monahan kernel as bind(), one draw per
         # destination in destination order — the whole fanout's draws cost
         # one call frame yet consume the RNG bit-for-bit like sequential
         # sample() calls would.
-        mu, sigma = self._mu, self.jitter_sigma
-        uniform = rng.random
-        nv_magic = random.NV_MAGICCONST
-        log_, exp_ = math.log, math.exp
-
-        def sample_batch(src: str, dsts: Sequence[str]) -> List[float]:
-            delays = []
-            append = delays.append
-            for _ in dsts:
-                while True:
-                    u1 = uniform()
-                    u2 = 1.0 - uniform()
-                    z = nv_magic * (u1 - 0.5) / u2
-                    if z * z / 4.0 <= -log_(u2):
-                        break
-                append(base + exp_(mu + z * sigma))
-            return delays
-
-        return sample_batch
+        return make_lan_batch_sampler(rng.random, base, self._mu, self.jitter_sigma)

@@ -1,383 +1,32 @@
-"""Traffic accounting.
+"""Traffic accounting (re-export shim).
 
 The bandwidth figures of the paper (Figs. 6, 9, 10, 11, 14) plot per-peer
-network utilization aggregated over 10-second windows. Recording every
-message individually would cost too much memory over millions of messages,
-so the monitor aggregates on the fly, and the two directions use storage
-shaped by how they are written:
+network utilization aggregated over 10-second windows. The
+:class:`TrafficMonitor` aggregates on the fly — dense tx bins per sender,
+sparse C-level counting structures on the rx side — so recording a whole
+multicast fanout costs two ``Counter.update`` calls instead of a Python
+loop over destinations.
 
-* the **tx side** is written once per send or fanout: one record per
-  sender — ``[tx_bins, tx_kinds, tx_overflow]`` — where the bins are plain
-  lists indexed by bin number and grown on demand (with a sparse dict
-  overflow for far-future jumps) and the kind map accumulates
-  ``[messages, bytes]`` pairs;
-* the **rx side** is written once per *recipient*, which on multicast
-  fanouts is the hottest stretch of the whole monitor. It is therefore a
-  pair of sparse counting structures — ``bin -> size -> Counter(node ->
-  messages)`` and ``kind -> size -> Counter(node -> messages)`` — so that
-  :meth:`TrafficMonitor.record_multicast` accounts a whole fanout with
-  two C-level ``Counter.update(dsts)`` calls instead of a Python loop
-  over destinations. Byte totals are reconstructed exactly at read time
-  as ``size * messages`` (all integers, so the reconstruction is
-  bit-equal to eager accumulation).
-
-Aggregate :class:`TrafficTotals` views are materialized lazily by summing
-the tx side of the per-node records (each message is counted exactly once
-there).
+The implementation lives in :mod:`repro.simulation._core` (pure/compiled
+twins — the counter updates sit on the per-message hot path); this module
+re-exports whichever twin is active. See ``_pure.py`` for the storage
+layout and the exact-integer merge semantics sharded runs rely on.
 """
 
-from __future__ import annotations
+from repro.simulation._core import (
+    _MAX_DENSE_GROWTH,
+    _TX_BINS,
+    _TX_KINDS,
+    _TX_OVER,
+    TrafficMonitor,
+    TrafficTotals,
+)
 
-from collections import _count_elements  # type: ignore[attr-defined]
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-# Sender-record slots. The overflow dict holds sparse far-future bins so a
-# single record at a huge timestamp cannot force an O(timestamp) dense
-# allocation (see record()).
-_TX_BINS, _TX_KINDS, _TX_OVER = range(3)
-
-# A dense bin list only grows contiguously by at most this many bins per
-# record; larger jumps (idle gaps, stray far-future timers) go to the
-# sparse overflow dict instead.
-_MAX_DENSE_GROWTH = 4096
-
-
-@dataclass
-class TrafficTotals:
-    """Whole-run aggregate counters."""
-
-    messages: int = 0
-    bytes: int = 0
-    by_kind_messages: Dict[str, int] = field(default_factory=dict)
-    by_kind_bytes: Dict[str, int] = field(default_factory=dict)
-
-    def record(self, kind: str, size: int) -> None:
-        self.messages += 1
-        self.bytes += size
-        self.by_kind_messages[kind] = self.by_kind_messages.get(kind, 0) + 1
-        self.by_kind_bytes[kind] = self.by_kind_bytes.get(kind, 0) + size
-
-
-class TrafficMonitor:
-    """Online per-node, per-direction byte binning.
-
-    Args:
-        bin_width: width of the accounting bins in seconds. The paper
-            aggregates at 10 s for plotting; we bin at 1 s by default and
-            re-aggregate in :mod:`repro.metrics.bandwidth`, which preserves
-            the ability to compute both fine- and coarse-grained series.
-    """
-
-    __slots__ = ("bin_width", "_unit_bins", "_node", "_rx_bins", "_rx_kinds", "_last_time")
-
-    def __init__(self, bin_width: float = 1.0) -> None:
-        if bin_width <= 0:
-            raise ValueError(f"bin width must be positive, got {bin_width}")
-        self.bin_width = bin_width
-        self._unit_bins = bin_width == 1.0  # skip the division on the default
-        # Sender side: node -> [tx_bins, tx_kinds, tx_over].
-        self._node: Dict[str, list] = {}
-        # Receiver side (sparse counting; see module docstring). Plain
-        # dicts rather than Counters: ``collections._count_elements`` (the
-        # C helper behind Counter.update) takes its exact-dict fast path
-        # and the single-message increment skips Counter's __missing__.
-        # bin index -> wire size -> {node: messages}.
-        self._rx_bins: Dict[int, Dict[int, Dict[str, int]]] = {}
-        # kind -> wire size -> {node: messages}.
-        self._rx_kinds: Dict[str, Dict[int, Dict[str, int]]] = {}
-        self._last_time = 0.0
-
-    def record(self, time: float, src: str, dst: str, kind: str, size: int) -> None:
-        """Account one message of ``size`` bytes sent at ``time``."""
-        bin_index = int(time) if self._unit_bins else int(time / self.bin_width)
-        node = self._node
-        src_record = node.get(src)
-        if src_record is None:
-            src_record = node[src] = [[], {}, {}]
-        bins = src_record[_TX_BINS]
-        grow = bin_index + 1 - len(bins)
-        if grow <= 0:
-            bins[bin_index] += size
-        elif grow <= _MAX_DENSE_GROWTH:
-            bins.extend([0] * grow)
-            bins[bin_index] += size
-        else:
-            # Far beyond the dense tail: sparse overflow, so one stray
-            # far-future record cannot force an O(timestamp) allocation.
-            overflow = src_record[_TX_OVER]
-            overflow[bin_index] = overflow.get(bin_index, 0) + size
-        kinds = src_record[_TX_KINDS]
-        acc = kinds.get(kind)
-        if acc is None:
-            kinds[kind] = [1, size]
-        else:
-            acc[0] += 1
-            acc[1] += size
-        by_size = self._rx_bins.get(bin_index)
-        if by_size is None:
-            by_size = self._rx_bins[bin_index] = {}
-        counts = by_size.get(size)
-        if counts is None:
-            by_size[size] = {dst: 1}
-        else:
-            counts[dst] = counts.get(dst, 0) + 1
-        by_size = self._rx_kinds.get(kind)
-        if by_size is None:
-            by_size = self._rx_kinds[kind] = {}
-        counts = by_size.get(size)
-        if counts is None:
-            by_size[size] = {dst: 1}
-        else:
-            counts[dst] = counts.get(dst, 0) + 1
-        if time > self._last_time:
-            self._last_time = time
-
-    def record_multicast(self, time: float, src: str, dsts: List[str], kind: str, size: int) -> None:
-        """Account one ``size``-byte message from ``src`` to each of ``dsts``.
-
-        Byte-exact equivalent of calling :meth:`record` once per
-        destination (the multicast and aggregated-traffic fast paths rely
-        on this): the sender's tx side is bumped once with ``len(dsts)``
-        messages and ``size * len(dsts)`` bytes, each receiver's rx side
-        exactly as an individual record would — but through two C-level
-        ``Counter.update`` calls, so the cost is independent of the
-        fanout width (duplicate destinations count once each, like the
-        per-copy loop).
-        """
-        if not dsts:
-            return
-        bin_index = int(time) if self._unit_bins else int(time / self.bin_width)
-        node = self._node
-        count = len(dsts)
-        total = size * count
-        src_record = node.get(src)
-        if src_record is None:
-            src_record = node[src] = [[], {}, {}]
-        bins = src_record[_TX_BINS]
-        grow = bin_index + 1 - len(bins)
-        if grow <= 0:
-            bins[bin_index] += total
-        elif grow <= _MAX_DENSE_GROWTH:
-            bins.extend([0] * grow)
-            bins[bin_index] += total
-        else:
-            overflow = src_record[_TX_OVER]
-            overflow[bin_index] = overflow.get(bin_index, 0) + total
-        kinds = src_record[_TX_KINDS]
-        acc = kinds.get(kind)
-        if acc is None:
-            kinds[kind] = [count, total]
-        else:
-            acc[0] += count
-            acc[1] += total
-        by_size = self._rx_bins.get(bin_index)
-        if by_size is None:
-            by_size = self._rx_bins[bin_index] = {}
-        counts = by_size.get(size)
-        if counts is None:
-            counts = by_size[size] = {}
-        _count_elements(counts, dsts)
-        by_size = self._rx_kinds.get(kind)
-        if by_size is None:
-            by_size = self._rx_kinds[kind] = {}
-        counts = by_size.get(size)
-        if counts is None:
-            counts = by_size[size] = {}
-        _count_elements(counts, dsts)
-        if time > self._last_time:
-            self._last_time = time
-
-    # Historical name from the aggregated-background PR; the multicast
-    # generalization made the vectorized record the common case.
-    record_fanout = record_multicast
-
-    def merge_from(self, other: "TrafficMonitor") -> None:
-        """Fold another monitor's accounting into this one, exactly.
-
-        Every counter in both structures is an integer, so the merge is
-        associative and bit-exact: merging the per-shard monitors of a
-        process-sharded run reproduces the single-process monitor as long
-        as each message was recorded on exactly one shard (sends record on
-        the sender's owner shard — see docs/sharding.md).
-        """
-        if other.bin_width != self.bin_width:
-            raise ValueError(
-                "cannot merge monitors with different bin widths "
-                f"({other.bin_width} vs {self.bin_width})"
-            )
-        node = self._node
-        for name, src_record in other._node.items():
-            mine = node.get(name)
-            if mine is None:
-                node[name] = [
-                    list(src_record[_TX_BINS]),
-                    {kind: list(acc) for kind, acc in src_record[_TX_KINDS].items()},
-                    dict(src_record[_TX_OVER]),
-                ]
-                continue
-            bins = mine[_TX_BINS]
-            theirs = src_record[_TX_BINS]
-            if len(theirs) > len(bins):
-                bins.extend([0] * (len(theirs) - len(bins)))
-            for index, size in enumerate(theirs):
-                if size:
-                    bins[index] += size
-            kinds = mine[_TX_KINDS]
-            for kind, (messages, size) in src_record[_TX_KINDS].items():
-                acc = kinds.get(kind)
-                if acc is None:
-                    kinds[kind] = [messages, size]
-                else:
-                    acc[0] += messages
-                    acc[1] += size
-            overflow = mine[_TX_OVER]
-            for index, size in src_record[_TX_OVER].items():
-                overflow[index] = overflow.get(index, 0) + size
-        for target, source in (
-            (self._rx_bins, other._rx_bins),
-            (self._rx_kinds, other._rx_kinds),
-        ):
-            for key, by_size in source.items():
-                mine_by_size = target.get(key)
-                if mine_by_size is None:
-                    target[key] = {
-                        size: dict(counts) for size, counts in by_size.items()
-                    }
-                    continue
-                for size, counts in by_size.items():
-                    mine_counts = mine_by_size.get(size)
-                    if mine_counts is None:
-                        mine_by_size[size] = dict(counts)
-                    else:
-                        for name, seen in counts.items():
-                            mine_counts[name] = mine_counts.get(name, 0) + seen
-        if other._last_time > self._last_time:
-            self._last_time = other._last_time
-
-    @property
-    def totals(self) -> TrafficTotals:
-        """Whole-run totals, materialized lazily from the per-node records.
-
-        Every message is counted exactly once on its sender's tx side, so
-        summing tx kind stats across nodes reproduces the global totals
-        without any dedicated per-message bookkeeping.
-        """
-        totals = TrafficTotals()
-        by_kind_messages = totals.by_kind_messages
-        by_kind_bytes = totals.by_kind_bytes
-        for record in self._node.values():
-            for kind, (messages, size) in record[_TX_KINDS].items():
-                totals.messages += messages
-                totals.bytes += size
-                by_kind_messages[kind] = by_kind_messages.get(kind, 0) + messages
-                by_kind_bytes[kind] = by_kind_bytes.get(kind, 0) + size
-        return totals
-
-    @property
-    def last_time(self) -> float:
-        """Time of the most recent recorded message."""
-        return self._last_time
-
-    def nodes(self) -> List[str]:
-        """All node names that sent or received at least one message."""
-        names = set(self._node)
-        for by_size in self._rx_kinds.values():
-            for counts in by_size.values():
-                names.update(counts)
-        return sorted(names)
-
-    def node_totals(self, node: str) -> TrafficTotals:
-        """Whole-run totals for one node (kinds prefixed ``tx:``/``rx:``)."""
-        totals = TrafficTotals()
-        record = self._node.get(node)
-        if record is not None:
-            for kind, (messages, size) in record[_TX_KINDS].items():
-                totals.messages += messages
-                totals.bytes += size
-                totals.by_kind_messages["tx:" + kind] = messages
-                totals.by_kind_bytes["tx:" + kind] = size
-        for kind, by_size in self._rx_kinds.items():
-            messages = 0
-            received = 0
-            for size, counts in by_size.items():
-                seen = counts.get(node)
-                if seen:
-                    messages += seen
-                    received += size * seen
-            if messages:
-                totals.messages += messages
-                totals.bytes += received
-                totals.by_kind_messages["rx:" + kind] = messages
-                totals.by_kind_bytes["rx:" + kind] = received
-        return totals
-
-    def series(
-        self,
-        node: str,
-        direction: str = "both",
-        end_time: Optional[float] = None,
-    ) -> List[float]:
-        """Bytes per bin for ``node``; index i covers [i*w, (i+1)*w).
-
-        Args:
-            node: node name.
-            direction: ``"tx"``, ``"rx"`` or ``"both"`` (sum).
-            end_time: pad the series with zero bins up to this time, so idle
-                tails (paper Fig. 6's 1500-2000 s window) appear explicitly.
-        """
-        if direction not in ("tx", "rx", "both"):
-            raise ValueError(f"unknown direction {direction!r}")
-        horizon = self._last_time if end_time is None else end_time
-        n_bins = int(horizon / self.bin_width) + 1
-        values = [0.0] * n_bins
-        if direction != "rx":
-            record = self._node.get(node)
-            if record is not None:
-                bins = record[_TX_BINS]
-                for index in range(min(len(bins), n_bins)):
-                    size = bins[index]
-                    if size:
-                        values[index] += size
-                for index, size in record[_TX_OVER].items():
-                    if index < n_bins:
-                        values[index] += size
-        if direction != "tx":
-            for index, by_size in self._rx_bins.items():
-                if index >= n_bins:
-                    continue
-                received = 0
-                for size, counts in by_size.items():
-                    seen = counts.get(node)
-                    if seen:
-                        received += size * seen
-                if received:
-                    values[index] += received
-        return values
-
-    def rate_series(
-        self, node: str, direction: str = "both", end_time: Optional[float] = None
-    ) -> List[float]:
-        """Same as :meth:`series` but in bytes/second."""
-        return [value / self.bin_width for value in self.series(node, direction, end_time)]
-
-    def average_rate(
-        self, node: str, direction: str = "both", start: float = 0.0, end: Optional[float] = None
-    ) -> float:
-        """Average bytes/second for ``node`` over ``[start, end]``."""
-        series = self.series(node, direction, end_time=end)
-        end = self._last_time if end is None else end
-        if end <= start:
-            return 0.0
-        first = int(start / self.bin_width)
-        last = int(end / self.bin_width)
-        window = series[first : last + 1]
-        return sum(window) / (end - start) if window else 0.0
-
-    def network_total_bytes(self) -> int:
-        """Total bytes carried by the network over the whole run."""
-        return sum(
-            size
-            for record in self._node.values()
-            for _, size in record[_TX_KINDS].values()
-        )
+__all__ = [
+    "TrafficMonitor",
+    "TrafficTotals",
+    "_MAX_DENSE_GROWTH",
+    "_TX_BINS",
+    "_TX_KINDS",
+    "_TX_OVER",
+]

@@ -57,6 +57,7 @@ from repro.net.network import NetworkConfig
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.runner import dissemination_config, run_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.simulation._core import active_engine
 from repro.simulation.sharded import (
     InlineTransport,
     PipeTransport,
@@ -417,6 +418,11 @@ def merge_shard_results(
         "dropped_messages": sum(result.dropped_messages for result in ordered),
         "blocks_via_recovery": sum(result.blocks_via_recovery for result in ordered),
         "resilience": resilience,
+        # Same runtime metadata as ScenarioRun.snapshot — workers inherit
+        # the coordinator's environment, so the active engine is uniform
+        # across shards and sharded == single-process snapshots stay
+        # byte-identical.
+        "runtime": {"engine": active_engine()},
     }
 
 

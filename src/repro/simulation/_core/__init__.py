@@ -1,0 +1,135 @@
+"""Engine core selection: pure-Python twin vs mypyc-compiled extension.
+
+``_pure.py`` is the single source of truth for the engine inner loop
+(:class:`Simulator`, :class:`TimerWheel`, :class:`TrafficMonitor`, the
+latency kernels). ``setup.py`` with ``REPRO_BUILD_EXT=1`` generates
+``_compiled.py`` as a mechanical copy and compiles it with mypyc; both
+twins are then importable side by side (the parity suite in
+``tests/property/test_core_parity.py`` runs random schedules through both
+and asserts identical execution sequences).
+
+This package picks the *active* twin at import time from the
+``REPRO_ENGINE`` environment variable:
+
+* ``auto`` (default) — the compiled extension when it is importable and
+  genuinely compiled, the pure twin otherwise;
+* ``pure`` — always the pure twin (never even tries the import);
+* ``compiled`` — the extension or :class:`ImportError`; never a silent
+  fallback (this is what ``perf_gate.py --engine compiled`` relies on).
+
+A stray *interpreted* ``_compiled.py`` (left over from a build that never
+ran mypyc) is rejected: it would be a second, slower pure twin silently
+masquerading as the extension. :func:`active_engine` reports which twin
+won — every place that records results (snapshots, ``BENCH_core.json``,
+the perf-gate banner) stamps it so pure and compiled numbers can never be
+silently compared.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional, Tuple
+
+_VALID_ENGINES = ("auto", "pure", "compiled")
+
+
+def _is_compiled(module: Any) -> bool:
+    """True when ``module`` is a genuine extension (not interpreted source).
+
+    A mypyc build leaves a ``.so``/``.pyd``; an abandoned generated copy
+    leaves ``_compiled.py``, which must not be mistaken for the extension.
+    """
+    file = getattr(module, "__file__", None) or ""
+    return bool(file) and not (file.endswith(".py") or file.endswith(".pyc"))
+
+
+def select_implementation(
+    preference: str, compiled_module: Optional[Any], pure_module: Any
+) -> Tuple[Any, str]:
+    """Resolve ``preference`` against the available twins.
+
+    Returns ``(module, engine_name)``. Raises :class:`ValueError` for an
+    unknown preference and :class:`ImportError` when ``compiled`` is forced
+    but no genuine extension is available.
+    """
+    if preference not in _VALID_ENGINES:
+        raise ValueError(
+            f"invalid REPRO_ENGINE {preference!r}; expected one of {_VALID_ENGINES}"
+        )
+    if preference == "pure":
+        return pure_module, "pure"
+    if compiled_module is not None and _is_compiled(compiled_module):
+        return compiled_module, "compiled"
+    if preference == "compiled":
+        raise ImportError(
+            "REPRO_ENGINE=compiled but the mypyc extension is not available; "
+            "build it with REPRO_BUILD_EXT=1 pip install -e . "
+            "(see docs/performance.md)"
+        )
+    return pure_module, "pure"
+
+
+def load_implementation() -> Tuple[Any, str]:
+    """Import the twins and pick one per ``REPRO_ENGINE``."""
+    preference = os.environ.get("REPRO_ENGINE", "auto").strip().lower() or "auto"
+    from repro.simulation._core import _pure
+
+    compiled = None
+    if preference != "pure":
+        try:
+            from repro.simulation._core import _compiled  # type: ignore[attr-defined]
+
+            compiled = _compiled
+        except ImportError:
+            compiled = None
+    return select_implementation(preference, compiled, _pure)
+
+
+_impl, _engine = load_implementation()
+
+
+def active_engine() -> str:
+    """Name of the twin this process runs on: ``"pure"`` or ``"compiled"``."""
+    return _engine
+
+
+def core_info() -> dict:
+    """Engine metadata for banners and result stamping."""
+    return {"engine": _engine, "module": _impl.__name__}
+
+
+SimulationError = _impl.SimulationError
+EventHandle = _impl.EventHandle
+Simulator = _impl.Simulator
+WheelTimer = _impl.WheelTimer
+TimerWheel = _impl.TimerWheel
+DEFAULT_TICKS_PER_SECOND = _impl.DEFAULT_TICKS_PER_SECOND
+DEFAULT_RING_TICKS = _impl.DEFAULT_RING_TICKS
+TrafficTotals = _impl.TrafficTotals
+TrafficMonitor = _impl.TrafficMonitor
+make_lan_sampler = _impl.make_lan_sampler
+make_lan_batch_sampler = _impl.make_lan_batch_sampler
+_ENTRY_POOL_MAX = _impl._ENTRY_POOL_MAX
+_COMPACT_MIN_STALE = _impl._COMPACT_MIN_STALE
+_MAX_DENSE_GROWTH = _impl._MAX_DENSE_GROWTH
+_TX_BINS = _impl._TX_BINS
+_TX_KINDS = _impl._TX_KINDS
+_TX_OVER = _impl._TX_OVER
+
+__all__ = [
+    "DEFAULT_RING_TICKS",
+    "DEFAULT_TICKS_PER_SECOND",
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "TimerWheel",
+    "TrafficMonitor",
+    "TrafficTotals",
+    "WheelTimer",
+    "active_engine",
+    "core_info",
+    "load_implementation",
+    "make_lan_batch_sampler",
+    "make_lan_sampler",
+    "select_implementation",
+]

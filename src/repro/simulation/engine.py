@@ -1,484 +1,31 @@
-"""Deterministic discrete-event simulation engine.
+"""Deterministic discrete-event simulation engine (re-export shim).
 
 The :class:`Simulator` is a classic heap-based event loop. Events are
 callbacks scheduled at absolute simulated times. The engine knows nothing
 about networks or blockchains; those are layered on top in :mod:`repro.net`
 and :mod:`repro.fabric`.
 
-Heap layout
------------
-
-The heap stores plain five-element lists rather than handle objects::
-
-    [time, seq, callback, args, handle]
-
-``heapq`` then compares entries with C-level list comparison: ``time``
-first, then the monotonically increasing ``seq``, which is unique, so the
-comparison never reaches the callback. This removes the per-comparison
-Python ``__lt__`` dispatch that dominated the old object heap (hundreds of
-thousands of calls per simulated second at paper scale).
-
-Cancellation is lazy and in-place: cancelling sets ``entry[2]`` (the
-callback) to ``None``; the entry stays in the heap and is discarded when it
-surfaces. Executed and discarded entries are recycled through a bounded
-free list, so steady-state scheduling allocates no new lists. When lazily
-cancelled entries exceed half the heap (mass timer cancellation, e.g. a
-crash fault stopping every periodic component), the heap is compacted in
-one pass to bound memory in long runs.
-
-``schedule``/``schedule_at`` return an :class:`EventHandle` wrapper for
-callers that may cancel; the internal :meth:`Simulator.schedule_call` fast
-path skips the wrapper allocation entirely and is what the network layer
-uses for its per-message events.
-
-Determinism contract
---------------------
-
-Reproducibility is bit-for-bit: with a fixed seed, two runs execute the
-exact same events in the exact same order at the exact same times, and all
-derived metrics (latency samples, byte counts) are equal as floats. Ties on
-the event time are broken by the scheduling sequence number. Any refactor
-of this module must preserve (a) the ``(time, seq)`` ordering, (b) the
-assignment of sequence numbers in scheduling order, and (c) the relative
-order of callback execution and clock advancement. The checker in
-:mod:`repro.perf.regression` asserts this contract against committed golden
-metrics.
+The implementation lives in :mod:`repro.simulation._core` as a pair of
+twins sharing one source text — ``_pure.py`` (always available) and the
+opt-in mypyc extension ``_compiled`` — selected at import time by the
+``REPRO_ENGINE`` environment variable. This module re-exports whichever
+twin is active so all historical imports keep working; see the ``_core``
+package docstring for the selection rules and ``_pure.py`` for the heap
+layout and the bit-for-bit determinism contract.
 """
 
-from __future__ import annotations
+from repro.simulation._core import (
+    _COMPACT_MIN_STALE,
+    _ENTRY_POOL_MAX,
+    EventHandle,
+    SimulationError,
+    Simulator,
+)
 
-from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
-from typing import Any, Callable, List, Optional
-
-_INF = float("inf")
-
-# Heap entry slots: [time, seq, callback, args, handle]. ``callback is
-# None`` marks a lazily cancelled entry.
-_ENTRY_POOL_MAX = 4096
-# Compact when stale (cancelled-in-heap) entries pass both thresholds.
-_COMPACT_MIN_STALE = 64
-
-
-class SimulationError(RuntimeError):
-    """Raised on invalid scheduler usage (e.g. scheduling in the past)."""
-
-
-class EventHandle:
-    """Handle for a scheduled event, usable to cancel it.
-
-    Cancellation is lazy: the entry stays in the heap but is skipped when it
-    surfaces. ``handle.cancelled`` and ``handle.executed`` expose the state.
-    """
-
-    __slots__ = ("time", "seq", "_sim", "_entry", "_cancelled", "_fired")
-
-    def __init__(self, sim: "Simulator", entry: list) -> None:
-        self.time = entry[0]
-        self.seq = entry[1]
-        self._sim = sim
-        self._entry = entry
-        self._cancelled = False
-        self._fired = False
-
-    @property
-    def cancelled(self) -> bool:
-        return self._cancelled
-
-    @property
-    def executed(self) -> bool:
-        return self._fired
-
-    @property
-    def pending(self) -> bool:
-        """True while the event is still waiting to fire."""
-        return not self._cancelled and not self._fired
-
-    def cancel(self) -> None:
-        """Cancel the event. Cancelling an executed event is a no-op."""
-        if self._fired or self._cancelled:
-            return
-        self._cancelled = True
-        entry = self._entry
-        self._entry = None
-        entry[2] = None
-        entry[3] = None
-        entry[4] = None
-        self._sim._note_cancel()
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self._cancelled else ("done" if self._fired else "pending")
-        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
-
-
-class Simulator:
-    """Heap-based deterministic discrete-event simulator.
-
-    Typical usage::
-
-        sim = Simulator()
-        sim.schedule(1.5, callback, arg1, arg2)
-        sim.run(until=100.0)
-
-    All times are in simulated seconds. The simulator starts at time 0.
-    """
-
-    __slots__ = (
-        "_now",
-        "_seq",
-        "_heap",
-        "_running",
-        "_events_executed",
-        "_live",
-        "_stale",
-        "_pool",
-        "_peak_heap",
-        "_wheel",
-        "use_timer_wheel",
-    )
-
-    def __init__(self, use_timer_wheel: bool = True) -> None:
-        self._now = 0.0
-        self._seq = 0
-        self._heap: List[list] = []
-        self._running = False
-        self._events_executed = 0
-        self._live = 0  # scheduled minus cancelled minus executed: O(1)
-        self._stale = 0  # lazily cancelled entries still in the heap
-        self._pool: List[list] = []
-        self._peak_heap = 0
-        self._wheel = None
-        # Recurring timers batch into shared wheel slots when True (the
-        # process layer consults this); False forces the naive
-        # one-event-per-tick PeriodicTimer path — kept selectable so the
-        # perf harness can measure the event-count reduction.
-        self.use_timer_wheel = use_timer_wheel
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
-    @property
-    def events_executed(self) -> int:
-        """Number of events executed so far (for instrumentation)."""
-        return self._events_executed
-
-    @property
-    def pending_events(self) -> int:
-        """Number of live queued events, excluding lazily cancelled ones.
-
-        Maintained as an O(1) counter; the old implementation scanned the
-        whole heap.
-        """
-        return self._live
-
-    @property
-    def peak_heap_size(self) -> int:
-        """Largest heap length observed (perf instrumentation)."""
-        return self._peak_heap
-
-    @property
-    def wheel(self):
-        """The simulator's shared :class:`TimerWheel`, created on demand.
-
-        All recurring timers of a simulation share one wheel so that
-        same-tick firings across processes coalesce into single events.
-        """
-        if self._wheel is None:
-            from repro.simulation.timerwheel import TimerWheel  # cycle guard
-
-            self._wheel = TimerWheel(self)
-        return self._wheel
-
-    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
-
-        ``delay`` must be finite and non-negative.
-        """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
-
-    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
-        entry = self._push(time, callback, args)
-        handle = EventHandle(self, entry)
-        entry[4] = handle
-        return handle
-
-    def schedule_call(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> None:
-        """Fast-path schedule without an :class:`EventHandle`.
-
-        For hot callers that never cancel (the network layer schedules two
-        to three events per message); skips the handle allocation. The body
-        duplicates :meth:`_push` to save a call frame per event.
-        """
-        if not (self._now <= time < _INF):
-            self._reject_time(time)
-        pool = self._pool
-        if pool:
-            entry = pool.pop()
-            entry[0] = time
-            entry[1] = self._seq
-            entry[2] = callback
-            entry[3] = args
-            entry[4] = None
-        else:
-            entry = [time, self._seq, callback, args, None]
-        self._seq += 1
-        heap = self._heap
-        _heappush(heap, entry)
-        self._live += 1
-        if len(heap) > self._peak_heap:
-            self._peak_heap = len(heap)
-
-    def schedule_records(self, callback: Callable[..., Any], records: List[list]) -> None:
-        """Batch fast path: schedule ``callback(*rec)`` at ``rec[0]`` for
-        each record in ``records``.
-
-        The record list itself is the event's argument vector — the run
-        loop unpacks it with ``callback(*rec)`` — so a caller that makes
-        the record's last slot the record itself can reclaim it into a
-        free list inside the callback. This is what the network multicast
-        path uses for its pooled slot-delivery records: one call frame
-        schedules a whole fanout, sequence numbers are assigned in list
-        order (consecutively, which the multicast tie-grouping proof
-        relies on), and steady-state dissemination allocates neither heap
-        entries (engine free list) nor argument tuples (caller free list)
-        per recipient.
-        """
-        now = self._now
-        seq = self._seq
-        pool = self._pool
-        heap = self._heap
-        heappush = _heappush
-        for rec in records:
-            time = rec[0]
-            if not (now <= time < _INF):
-                # Repair the counters consumed so far before raising so a
-                # rejected record cannot corrupt the live count.
-                self._live += seq - self._seq
-                self._seq = seq
-                self._reject_time(time)
-            if pool:
-                entry = pool.pop()
-                entry[0] = time
-                entry[1] = seq
-                entry[2] = callback
-                entry[3] = rec
-                entry[4] = None
-            else:
-                entry = [time, seq, callback, rec, None]
-            seq += 1
-            heappush(heap, entry)
-        self._live += seq - self._seq
-        self._seq = seq
-        if len(heap) > self._peak_heap:
-            self._peak_heap = len(heap)
-
-    def _push(self, time: float, callback: Callable[..., Any], args: tuple) -> list:
-        # ``not (now <= time < inf)`` is a single guard catching NaN
-        # (comparisons are False), +/-inf and past times at once.
-        if not (self._now <= time < _INF):
-            self._reject_time(time)
-        pool = self._pool
-        if pool:
-            entry = pool.pop()
-            entry[0] = time
-            entry[1] = self._seq
-            entry[2] = callback
-            entry[3] = args
-            entry[4] = None
-        else:
-            entry = [time, self._seq, callback, args, None]
-        self._seq += 1
-        heap = self._heap
-        _heappush(heap, entry)
-        self._live += 1
-        if len(heap) > self._peak_heap:
-            self._peak_heap = len(heap)
-        return entry
-
-    def _reject_time(self, time: float) -> None:
-        if time != time or time == _INF:
-            raise SimulationError(f"invalid event time: {time}")
-        raise SimulationError(
-            f"cannot schedule at t={time} before current time t={self._now}"
-        )
-
-    def _note_cancel(self) -> None:
-        self._live -= 1
-        self._stale += 1
-        heap_len = len(self._heap)
-        if self._stale > _COMPACT_MIN_STALE and self._stale * 2 >= heap_len:
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop lazily cancelled entries and re-heapify in one pass.
-
-        Bounds memory when timers are cancelled en masse (crash faults in
-        long recovery/background runs) instead of letting dead entries
-        accumulate until their scheduled times.
-        """
-        pool = self._pool
-        live_entries = []
-        for entry in self._heap:
-            if entry[2] is not None:
-                live_entries.append(entry)
-            elif len(pool) < _ENTRY_POOL_MAX:
-                pool.append(entry)
-        _heapify(live_entries)
-        self._heap = live_entries
-        self._stale = 0
-
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run the event loop.
-
-        Args:
-            until: stop once the next event would fire strictly after this
-                time; the clock is then advanced to ``until``. ``None`` runs
-                until the queue drains.
-            max_events: safety valve; raise :class:`SimulationError` if more
-                than this many events execute.
-
-        Returns:
-            The simulated time when the loop stopped.
-        """
-        if self._running:
-            raise SimulationError("simulator is not reentrant")
-        self._running = True
-        # Executed-event accounting is batched into locals and flushed in
-        # the ``finally`` block: one attribute read-modify-write per run()
-        # instead of two per event. ``_live``/``_events_executed`` are
-        # therefore only exact while the loop is not executing a callback,
-        # which is when anyone queries them.
-        executed = 0
-        heappop = _heappop
-        pool = self._pool
-        heap = self._heap
-        # One comparison per event instead of two None tests: absent
-        # bounds become sentinels no event time / count can exceed.
-        limit = _INF if until is None else until
-        event_budget = _INF if max_events is None else max_events
-        try:
-            while heap:
-                entry = heap[0]
-                callback = entry[2]
-                if callback is None:
-                    heappop(heap)
-                    self._stale -= 1
-                    if len(pool) < _ENTRY_POOL_MAX:
-                        pool.append(entry)
-                    continue
-                event_time = entry[0]
-                if event_time > limit:
-                    break
-                heappop(heap)
-                self._now = event_time
-                args = entry[3]
-                handle = entry[4]
-                if handle is not None:
-                    handle._fired = True
-                    handle._entry = None
-                entry[2] = None
-                entry[3] = None
-                entry[4] = None
-                if len(pool) < _ENTRY_POOL_MAX:
-                    pool.append(entry)
-                executed += 1
-                callback(*args)
-                # _compact() (reachable only through a cancel inside the
-                # callback) swaps the heap list object; re-bind after each
-                # callback, the only place the swap can happen.
-                heap = self._heap
-                if executed >= event_budget:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; possible runaway simulation"
-                    )
-            if until is not None and self._now < until:
-                self._now = until
-            return self._now
-        finally:
-            self._events_executed += executed
-            self._live -= executed
-            self._running = False
-
-    def run_until_idle(self, max_time: Optional[float] = None) -> float:
-        """Run until the queue is empty or ``max_time`` is reached."""
-        return self.run(until=max_time)
-
-    def run_window(self, end: float) -> float:
-        """Execute every event with time **strictly below** ``end``, then
-        advance the clock to exactly ``end``.
-
-        This is the conservative-window hook of the process-sharded
-        executor (:mod:`repro.simulation.sharded`): a shard runs the
-        half-open window ``[now, end)``, leaving events at exactly ``end``
-        pending, so that cross-shard records injected at the barrier —
-        whose times are ``>= end`` by the lookahead guarantee — can still
-        be scheduled (``now`` never passes them) and order among the
-        window-edge events by scheduling sequence. Contrast :meth:`run`,
-        whose ``until`` bound is inclusive.
-        """
-        if self._running:
-            raise SimulationError("simulator is not reentrant")
-        if end < self._now:
-            raise SimulationError(
-                f"cannot run a window ending at t={end} before current time t={self._now}"
-            )
-        self._running = True
-        executed = 0
-        heappop = _heappop
-        pool = self._pool
-        heap = self._heap
-        try:
-            while heap:
-                entry = heap[0]
-                callback = entry[2]
-                if callback is None:
-                    heappop(heap)
-                    self._stale -= 1
-                    if len(pool) < _ENTRY_POOL_MAX:
-                        pool.append(entry)
-                    continue
-                event_time = entry[0]
-                if event_time >= end:
-                    break
-                heappop(heap)
-                self._now = event_time
-                args = entry[3]
-                handle = entry[4]
-                if handle is not None:
-                    handle._fired = True
-                    handle._entry = None
-                entry[2] = None
-                entry[3] = None
-                entry[4] = None
-                if len(pool) < _ENTRY_POOL_MAX:
-                    pool.append(entry)
-                executed += 1
-                callback(*args)
-                heap = self._heap  # _compact() may swap the list object
-            self._now = end
-            return self._now
-        finally:
-            self._events_executed += executed
-            self._live -= executed
-            self._running = False
-
-    def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
-        if self._running:
-            raise SimulationError("cannot reset a running simulator")
-        self._now = 0.0
-        self._seq = 0
-        self._heap.clear()
-        self._pool.clear()
-        self._events_executed = 0
-        self._live = 0
-        self._stale = 0
-        self._peak_heap = 0
-        self._wheel = None  # wheel state references dropped heap events
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator t={self._now:.6f} pending={self._live}>"
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "_COMPACT_MIN_STALE",
+    "_ENTRY_POOL_MAX",
+]

@@ -1,396 +1,32 @@
-"""Hierarchical timer wheel: batched scheduling for recurring callbacks.
+"""Hierarchical timer wheel (re-export shim): batched recurring callbacks.
 
-The Fabric model is fundamentally periodic — membership heart-beats, state
-info gossip, recovery checks, background metadata chatter — and with the
-one-heap-entry-per-firing :class:`~repro.simulation.timers.PeriodicTimer`
-every tick of every timer is its own simulator event. At paper scale that
-is thousands of heap operations per simulated second spent on timers whose
-callbacks are trivial.
+The :class:`TimerWheel` replaces the one-heap-entry-per-firing
+:class:`~repro.simulation.timers.PeriodicTimer` pattern with slot
+batching: simulated time is divided into fixed ticks (default 1/20 s) and
+every recurring callback due within the same tick lands in the same slot,
+so one engine event fires per occupied slot regardless of how many timers
+share it. The wheel is hierarchical in the style of kernel timer wheels: a
+ring of tick-granular buckets plus a sparse overflow map that cascades in
+rotation by rotation.
 
-The :class:`TimerWheel` replaces that pattern with slot batching: simulated
-time is divided into fixed ticks (default 1/20 s) and every recurring
-callback due within the same tick lands in the same *slot*. One engine
-event fires per occupied slot, regardless of how many timers share it, so
-the event count for N same-period timers drops from N per period to (at
-most) one per occupied tick.
-
-Structure
----------
-
-The wheel is hierarchical in the style of kernel timer wheels:
-
-* **level 0** is a ring of ``ring_ticks`` buckets covering the next
-  ``ring_ticks / ticks_per_second`` seconds at tick granularity; timers due
-  inside the window are bucketed directly and fire from their slot;
-* **level 1** is a sparse overflow map keyed by ring rotation; timers due
-  beyond the window park there and cascade into the ring when their
-  rotation's window opens (one cascade event per armed rotation).
-
-All protocol periods (0.25-10 s) fit the default 25.6 s window, so the
-overflow level is a correctness path for long phases and is exercised
-directly by the tests with a deliberately tiny ring.
-
-Semantics and determinism
--------------------------
-
-Firing times are quantized *up* to the tick grid: a timer registered with
-first-fire time ``t`` fires at the first slot boundary ``>= t``, and then
-every ``period`` seconds re-quantized from the slot it fired in. Schedules
-whose phases and periods are multiples of the tick reproduce the naive
-:class:`PeriodicTimer` firing times exactly (slot times are computed as
-``index / ticks_per_second`` with correctly rounded division, so grid
-times are bit-equal to the literals callers wrote); off-grid schedules are
-delayed by less than one tick per firing. The property suite in
-``tests/property/test_timerwheel.py`` asserts exact (time, callback)
-sequence equivalence against the heap path on grid-aligned schedules,
-including cancellation and re-arming mid-run.
-
-Within a slot, callbacks run in *arming order* — the chronological order in
-which the registrations or re-arms happened — which is exactly the
-``(time, seq)`` order the naive heap produces for tick-aligned schedules.
-Entries carry a monotone arming sequence number and slots sort by it before
-firing, so cascaded (level 1) entries interleave correctly with directly
-bucketed ones.
-
-Cancellation is O(1) and touches no heap entry: :meth:`WheelTimer.stop`
-sets a flag and the slot skips the corpse when (and if) it fires. A crash
-fault stopping a peer's every periodic component therefore cancels wheel
-registrations, not N pending heap events — the engine's lazy-cancel and
-compaction machinery is reserved for genuine one-shot events.
+The implementation lives in :mod:`repro.simulation._core` (pure/compiled
+twins, same module as the :class:`~repro.simulation.engine.Simulator` it
+fires on); this module re-exports whichever twin is active. See the
+``_core`` package docstring for selection and ``_pure.py`` for the firing
+semantics (quantize-up grid, arming-order slots, re-arm memo) and their
+determinism guarantees.
 """
 
-from __future__ import annotations
+from repro.simulation._core import (
+    DEFAULT_RING_TICKS,
+    DEFAULT_TICKS_PER_SECOND,
+    TimerWheel,
+    WheelTimer,
+)
 
-from math import ceil
-from typing import Any, Callable, Dict, List, Optional, Tuple
-
-from repro.simulation.engine import SimulationError, Simulator
-
-DEFAULT_TICKS_PER_SECOND = 20
-DEFAULT_RING_TICKS = 512
-
-
-class WheelTimer:
-    """Handle for one recurring registration on a :class:`TimerWheel`.
-
-    API-compatible with :class:`~repro.simulation.timers.PeriodicTimer`
-    (``ticks``, ``running``, ``period``, ``stop``, ``reschedule``) so
-    processes can hold either interchangeably.
-    """
-
-    __slots__ = ("_wheel", "_period", "_callback", "_jitter", "_stopped", "_ticks")
-
-    def __init__(
-        self,
-        wheel: "TimerWheel",
-        period: float,
-        callback: Callable[[], Any],
-        jitter: Optional[Callable[[], float]] = None,
-    ) -> None:
-        self._wheel = wheel
-        self._period = period
-        self._callback = callback
-        self._jitter = jitter
-        self._stopped = False
-        self._ticks = 0
-
-    @property
-    def ticks(self) -> int:
-        """Number of times the callback has fired."""
-        return self._ticks
-
-    @property
-    def running(self) -> bool:
-        """True until :meth:`stop` is called."""
-        return not self._stopped
-
-    @property
-    def period(self) -> float:
-        return self._period
-
-    def stop(self) -> None:
-        """Stop the timer: O(1), no heap entry is touched.
-
-        The slot the timer sits in fires regardless (it may be shared) and
-        skips stopped entries; the registration is dropped there.
-        """
-        if not self._stopped:
-            self._stopped = True
-            self._wheel._live -= 1
-
-    def reschedule(self, period: float) -> None:
-        """Change the period; takes effect from the next firing onwards.
-
-        Rejects periods the wheel cannot carry without rate distortion
-        (sub-tick or off the tick grid) — callers needing those cadences
-        must use a naive :class:`PeriodicTimer` instead, as the process
-        layer does at registration time.
-        """
-        if period <= 0:
-            raise SimulationError(f"timer period must be positive, got {period}")
-        if not self._wheel.supports_period(period):
-            raise SimulationError(
-                f"period {period} is not a whole number of wheel ticks "
-                f"(tick={self._wheel.tick}); use a PeriodicTimer for off-grid rates"
-            )
-        self._period = period
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "stopped" if self._stopped else "running"
-        return f"<WheelTimer period={self._period} ticks={self._ticks} {state}>"
-
-
-class TimerWheel:
-    """Two-level (ring + overflow) timer wheel over a :class:`Simulator`.
-
-    Args:
-        sim: the simulator to fire slots on.
-        ticks_per_second: slot granularity; slot times are exact multiples
-            of ``1 / ticks_per_second`` computed by division, so an integer
-            ratio (20 -> 50 ms) keeps grid times bit-equal to literals.
-        ring_ticks: level-0 window length in ticks; timers due further out
-            park in the level-1 overflow and cascade in later.
-    """
-
-    def __init__(
-        self,
-        sim: Simulator,
-        ticks_per_second: int = DEFAULT_TICKS_PER_SECOND,
-        ring_ticks: int = DEFAULT_RING_TICKS,
-    ) -> None:
-        if ticks_per_second < 1:
-            raise SimulationError(
-                f"ticks_per_second must be a positive integer, got {ticks_per_second}"
-            )
-        if ring_ticks < 2:
-            raise SimulationError(f"ring_ticks must be >= 2, got {ring_ticks}")
-        self._sim = sim
-        self._tps = ticks_per_second
-        self._tick = 1.0 / ticks_per_second
-        self._ring_ticks = ring_ticks
-        # Level 0: ring of buckets, position = slot index % ring_ticks. A
-        # bucket is a list of (arming_seq, timer); None when empty.
-        self._ring: List[Optional[List[Tuple[int, WheelTimer]]]] = [None] * ring_ticks
-        # Level 1: rotation -> [(slot_index, arming_seq, timer)].
-        self._far: Dict[int, List[Tuple[int, int, WheelTimer]]] = {}
-        self._armed_rotations: set = set()
-        self._armed_slots: set = set()
-        self._fired_through = -1  # highest slot index already fired
-        self._arm_seq = 0
-        self._live = 0
-        # Instrumentation: engine events consumed by the wheel.
-        self.slot_events = 0
-        self.cascade_events = 0
-
-    # ----- public API -----------------------------------------------------
-
-    @property
-    def tick(self) -> float:
-        """Slot granularity in seconds."""
-        return self._tick
-
-    @property
-    def live_timers(self) -> int:
-        """Registrations that are still running."""
-        return self._live
-
-    def every(
-        self,
-        period: float,
-        callback: Callable[[], Any],
-        initial_delay: Optional[float] = None,
-        jitter: Optional[Callable[[], float]] = None,
-    ) -> WheelTimer:
-        """Register a recurring callback; mirrors :class:`PeriodicTimer`.
-
-        Args:
-            period: seconds between firings; must be positive. Periods
-                shorter than one tick would alias to the tick — callers
-                wanting sub-tick cadence (high-rate clients) should use the
-                naive timer instead (see :meth:`supports_period`).
-            callback: invoked with no arguments at every firing.
-            initial_delay: delay before the first firing (default: one
-                period). Quantized up to the next slot boundary.
-            jitter: optional callable returning an additive offset applied
-                independently to every firing before quantization.
-        """
-        if period <= 0:
-            raise SimulationError(f"timer period must be positive, got {period}")
-        if initial_delay is not None and initial_delay < 0:
-            raise SimulationError(f"initial delay must be >= 0, got {initial_delay}")
-        timer = WheelTimer(self, period, callback, jitter)
-        self._live += 1
-        first = period if initial_delay is None else initial_delay
-        if jitter is not None:
-            first = max(0.0, first + jitter())
-        self._insert(timer, self._sim.now + first)
-        return timer
-
-    def supports_period(self, period: float) -> bool:
-        """Whether ``period`` can ride the wheel without rate distortion.
-
-        Two classes of period are refused, and the process layer falls back
-        to the naive per-event timer for them:
-
-        * sub-tick periods, which would alias to the tick;
-        * periods that are not a whole number of ticks — each firing
-          re-quantizes *up* from its slot, so an off-grid period would be
-          stretched toward the next boundary every cycle (0.26 s would
-          effectively become 0.30 s), silently lowering calibrated rates.
-
-        Grid-multiple periods re-quantize stably: the epsilon in
-        :meth:`_slot_for` absorbs accumulated float dust, so the effective
-        period is exact.
-        """
-        if period < self._tick:
-            return False
-        ticks = round(period * self._tps)
-        return ticks >= 1 and abs(period - ticks / self._tps) <= 1e-9 * period
-
-    # ----- internals ------------------------------------------------------
-
-    def _slot_for(self, time: float) -> int:
-        """First slot index whose boundary is >= ``time``.
-
-        The epsilon absorbs float dust from summed periods (e.g.
-        0.15 + 0.15 = 0.30000000000000004) so accumulated grid-aligned
-        schedules stay on their intended slot.
-        """
-        scaled = time * self._tps
-        slot = ceil(scaled - 1e-9 * (abs(scaled) + 1.0))
-        if slot <= self._fired_through:
-            # The boundary already fired (registration from inside its own
-            # slot, or a zero delay at a fired boundary): defer one tick.
-            slot = self._fired_through + 1
-        return slot
-
-    def _insert(self, timer: WheelTimer, time: float) -> Optional[list]:
-        """Bucket ``timer`` for its next firing.
-
-        Returns the ring bucket the timer landed in (for the re-arm memo
-        in :meth:`_fire_slot`), or None when it parked in the overflow.
-        """
-        slot = self._slot_for(time)
-        seq = self._arm_seq
-        self._arm_seq = seq + 1
-        # The ring window starts at the first boundary that can still fire.
-        # ``_fired_through`` alone goes stale when the wheel idles (every
-        # timer stopped, clock advanced by other events): anchoring the
-        # base at the current time keeps near registrations in the ring and
-        # keeps cascade times in the future.
-        base = self._fired_through + 1
-        scaled_now = self._sim._now * self._tps
-        now_slot = ceil(scaled_now - 1e-9 * (abs(scaled_now) + 1.0))
-        if now_slot > base:
-            base = now_slot
-        if slot < base + self._ring_ticks:
-            position = slot % self._ring_ticks
-            bucket = self._ring[position]
-            if bucket is None:
-                bucket = self._ring[position] = [(seq, timer)]
-            else:
-                bucket.append((seq, timer))
-            if slot not in self._armed_slots:
-                self._armed_slots.add(slot)
-                self._arm_slot(slot)
-            return bucket
-        else:
-            rotation = slot // self._ring_ticks
-            entries = self._far.get(rotation)
-            if entries is None:
-                self._far[rotation] = [(slot, seq, timer)]
-            else:
-                entries.append((slot, seq, timer))
-            if rotation not in self._armed_rotations:
-                self._armed_rotations.add(rotation)
-                # The cascade runs half a tick before the rotation's first
-                # boundary so cascaded entries are bucketed (and their
-                # slots armed) before any direct slot event of the same
-                # rotation can fire.
-                cascade_at = (rotation * self._ring_ticks - 0.5) / self._tps
-                now = self._sim._now
-                if cascade_at < now:
-                    cascade_at = now
-                self._sim.schedule_call(cascade_at, self._cascade, (rotation,))
-            return None
-
-    def _arm_slot(self, slot: int) -> None:
-        # The clock can sit a hair *past* the boundary when _slot_for's
-        # epsilon mapped a dust-contaminated time back onto it (e.g. a
-        # registration from a callback at B + 1e-13); firing "now" instead
-        # of raising keeps the slot time semantics (slot/tps) intact.
-        fire_at = slot / self._tps
-        now = self._sim._now
-        if fire_at < now:
-            fire_at = now
-        self._sim.schedule_call(fire_at, self._fire_slot, (slot,))
-
-    def _cascade(self, rotation: int) -> None:
-        """Move one overflow rotation into the ring (level 1 -> level 0)."""
-        self._armed_rotations.discard(rotation)
-        entries = self._far.pop(rotation, None)
-        self.cascade_events += 1
-        if not entries:
-            return
-        ring = self._ring
-        ring_ticks = self._ring_ticks
-        for slot, seq, timer in entries:
-            if timer._stopped:
-                continue
-            position = slot % ring_ticks
-            bucket = ring[position]
-            if bucket is None:
-                ring[position] = [(seq, timer)]
-            else:
-                bucket.append((seq, timer))
-            if slot not in self._armed_slots:
-                self._armed_slots.add(slot)
-                self._arm_slot(slot)
-
-    def _fire_slot(self, slot: int) -> None:
-        self._armed_slots.discard(slot)
-        self._fired_through = slot
-        self.slot_events += 1
-        position = slot % self._ring_ticks
-        bucket = self._ring[position]
-        if bucket is None:
-            return
-        self._ring[position] = None
-        if len(bucket) > 1:
-            # Arming order == the (time, seq) order of the naive heap for
-            # tick-aligned schedules; cascaded entries may have appended
-            # out of order relative to direct ones.
-            bucket.sort()
-        slot_time = slot / self._tps
-        # Re-arm memo: every non-jittered timer of the same period re-arms
-        # at the same ``slot_time + period``, i.e. into the same bucket.
-        # Computing the target slot once per period (instead of once per
-        # timer) skips the _slot_for math for the whole herd of same-period
-        # emitters sharing a slot, while assigning arming sequence numbers
-        # in exactly the order the per-timer path would.
-        memo_period = -1.0
-        memo_bucket: Optional[list] = None
-        for seq, timer in bucket:
-            if timer._stopped:
-                continue
-            timer._ticks += 1
-            timer._callback()
-            if timer._stopped:
-                continue
-            period = timer._period
-            if timer._jitter is None:
-                if period == memo_period and memo_bucket is not None:
-                    arm_seq = self._arm_seq
-                    self._arm_seq = arm_seq + 1
-                    memo_bucket.append((arm_seq, timer))
-                    continue
-                memo_bucket = self._insert(timer, slot_time + period)
-                memo_period = period
-                continue
-            self._insert(timer, max(slot_time, slot_time + period + timer._jitter()))
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (
-            f"<TimerWheel tick={self._tick} live={self._live} "
-            f"armed_slots={len(self._armed_slots)} far_rotations={len(self._far)}>"
-        )
+__all__ = [
+    "DEFAULT_RING_TICKS",
+    "DEFAULT_TICKS_PER_SECOND",
+    "TimerWheel",
+    "WheelTimer",
+]

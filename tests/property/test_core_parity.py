@@ -1,0 +1,288 @@
+"""Property test: the pure and compiled engine twins are indistinguishable.
+
+``repro.simulation._core._pure`` is the source of truth; ``setup.py``
+generates and mypyc-compiles ``_compiled`` from the same text. The twins'
+contract is *bit-for-bit* equality: for any schedule — cancellations,
+mass-cancel compaction, timer-wheel re-arms, exact ``schedule_records``
+ties — both must execute the exact same ``(time, tag)`` callback sequence
+with identical clock, event counts and heap instrumentation, and the
+traffic monitor and latency kernels must produce identical numbers.
+
+When the extension is not built (the local default: the build is opt-in
+via ``REPRO_BUILD_EXT=1``), the cross-twin legs skip with a visible
+reason; the pure-vs-pure replay legs — the same random programs run twice
+through the pure twin — always run, so the determinism property itself is
+exercised on every machine.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation._core import _pure
+
+
+def _load_compiled():
+    """The genuinely compiled twin, or (None, reason)."""
+    try:
+        from repro.simulation._core import _compiled  # type: ignore[attr-defined]
+    except ImportError:
+        return None, "mypyc extension not built (REPRO_BUILD_EXT=1 pip install -e .)"
+    from repro.simulation._core import _is_compiled
+
+    if not _is_compiled(_compiled):
+        return None, "_compiled.py present but interpreted (stale generated copy)"
+    return _compiled, None
+
+
+_COMPILED, _COMPILED_ABSENT_REASON = _load_compiled()
+
+
+def require_compiled():
+    if _COMPILED is None:
+        pytest.skip(f"cross-twin parity leg skipped: {_COMPILED_ABSENT_REASON}")
+    return _COMPILED
+
+
+# ---------------------------------------------------------------------------
+# Random schedule programs
+# ---------------------------------------------------------------------------
+
+# Delays quantized to the wheel grid (tick = 1/20 s) so programs produce
+# exact time ties and slot-aligned firings, the orders most sensitive to
+# an implementation divergence.
+_TICK = 0.05
+
+_op = st.one_of(
+    st.tuples(st.just("call"), st.integers(0, 40)),
+    st.tuples(st.just("at"), st.integers(0, 40)),
+    st.tuples(st.just("fast"), st.integers(0, 40)),
+    # k same-time records through the batch path: exact ties, consecutive
+    # sequence numbers.
+    st.tuples(st.just("records"), st.integers(0, 40), st.integers(1, 6)),
+    st.tuples(st.just("cancel"), st.integers(0, 1000)),
+    st.tuples(st.just("mass_cancel")),
+    # Recurring wheel timer: grid-multiple period, self-stops after a few
+    # ticks, optionally re-arms onto a new period mid-life.
+    st.tuples(
+        st.just("timer"),
+        st.integers(1, 8),          # period in ticks
+        st.integers(1, 3),          # stop after this many firings
+        st.integers(0, 8),          # re-arm period in ticks (0 = never)
+    ),
+    st.tuples(st.just("run"), st.integers(0, 40)),
+)
+
+programs = st.lists(_op, min_size=1, max_size=40)
+
+
+def run_program(core, program):
+    """Execute one program against a twin; return the observable state.
+
+    The trace records ``(now, tag)`` at every callback execution — the
+    exact quantity the determinism contract pins — plus the monitor fed
+    from inside the callbacks and the engine instrumentation counters.
+    """
+    sim = core.Simulator()
+    monitor = core.TrafficMonitor()
+    trace = []
+    handles = []
+    tag_box = [0]
+
+    def fire(tag):
+        trace.append((sim.now, tag))
+        monitor.record(sim.now, f"n{tag % 5}", f"n{(tag + 1) % 5}", "k", tag % 7)
+
+    def fire_record(time, tag):
+        trace.append((sim.now, tag))
+
+    def next_tag():
+        tag_box[0] += 1
+        return tag_box[0]
+
+    for op in program:
+        kind = op[0]
+        if kind == "call":
+            handles.append(sim.schedule(op[1] * _TICK, fire, next_tag()))
+        elif kind == "at":
+            handles.append(sim.schedule_at(sim.now + op[1] * _TICK, fire, next_tag()))
+        elif kind == "fast":
+            sim.schedule_call(sim.now + op[1] * _TICK, fire, (next_tag(),))
+        elif kind == "records":
+            time = sim.now + op[1] * _TICK
+            sim.schedule_records(
+                fire_record, [[time, next_tag()] for _ in range(op[2])]
+            )
+        elif kind == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        elif kind == "mass_cancel":
+            for handle in handles:
+                handle.cancel()
+        elif kind == "timer":
+            period, stop_after, rearm = op[1] * _TICK, op[2], op[3] * _TICK
+            tag = next_tag()
+            holder = []
+
+            def tick(tag=tag, stop_after=stop_after, rearm=rearm, holder=holder):
+                timer = holder[0]
+                trace.append((sim.now, tag))
+                if timer.ticks >= stop_after:
+                    timer.stop()
+                elif rearm > 0 and core.TimerWheel.supports_period(sim.wheel, rearm):
+                    timer.reschedule(rearm)
+
+            holder.append(sim.wheel.every(period, tick))
+        elif kind == "run":
+            sim.run(until=sim.now + op[1] * _TICK)
+    sim.run(until=sim.now + 60.0)
+    return {
+        "trace": trace,
+        "now": sim.now,
+        "events_executed": sim.events_executed,
+        "pending": sim.pending_events,
+        "peak_heap": sim.peak_heap_size,
+        "totals": (
+            monitor.totals.messages,
+            monitor.totals.bytes,
+            monitor.totals.by_kind_messages,
+            monitor.totals.by_kind_bytes,
+        ),
+        "nodes": monitor.nodes(),
+        "series": {n: monitor.series(n) for n in monitor.nodes()},
+    }
+
+
+@given(programs)
+@settings(max_examples=60, deadline=None)
+def test_pure_replay_is_deterministic(program):
+    """The same program run twice through the pure twin is bit-identical."""
+    assert run_program(_pure, program) == run_program(_pure, program)
+
+
+@given(programs)
+@settings(max_examples=60, deadline=None)
+def test_pure_compiled_parity(program):
+    """Identical (time, tag) sequences and counters through both twins."""
+    compiled = require_compiled()
+    assert run_program(_pure, program) == run_program(compiled, program)
+
+
+def test_mass_cancel_compaction_parity():
+    """A compaction-triggering mass cancel leaves both twins in the same
+    observable state (counters, survivor sequence)."""
+
+    def run(core):
+        sim = core.Simulator()
+        fired = []
+        doomed = [
+            sim.schedule(1.0 + i * 0.001, fired.append, ("doomed", i))
+            for i in range(200)
+        ]
+        survivors = [
+            sim.schedule(2.0 + i * 0.001, fired.append, ("kept", i)) for i in range(10)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        # The compaction threshold (stale > _COMPACT_MIN_STALE and
+        # stale*2 >= heap) has tripped: no stale entries remain.
+        state_mid = (sim.pending_events, sim.peak_heap_size)
+        sim.run()
+        return state_mid, fired, sim.events_executed, [h.executed for h in survivors]
+
+    pure_result = run(_pure)
+    assert pure_result[0] == (10, 210)
+    assert pure_result[2] == 10
+    if _COMPILED is not None:
+        assert run(_COMPILED) == pure_result
+    else:
+        pytest.skip(f"pure leg passed; {_COMPILED_ABSENT_REASON}")
+
+
+# ---------------------------------------------------------------------------
+# Monitor wire/merge parity
+# ---------------------------------------------------------------------------
+
+
+def _feed(monitor, seed):
+    rng = random.Random(seed)
+    for _ in range(rng.randint(5, 40)):
+        t = rng.random() * 50
+        if rng.random() < 0.5:
+            monitor.record(t, f"n{rng.randint(0, 4)}", f"n{rng.randint(0, 4)}",
+                           rng.choice("abc"), rng.randint(0, 300))
+        else:
+            dsts = [f"n{rng.randint(0, 4)}" for _ in range(rng.randint(1, 6))]
+            monitor.record_multicast(t, f"n{rng.randint(0, 4)}", dsts,
+                                     rng.choice("abc"), rng.randint(0, 300))
+    return monitor
+
+
+def _monitor_view(monitor):
+    totals = monitor.totals
+    return {
+        "totals": (totals.messages, totals.bytes,
+                   totals.by_kind_messages, totals.by_kind_bytes),
+        "nodes": monitor.nodes(),
+        "network_bytes": monitor.network_total_bytes(),
+        "node_totals": {
+            n: (monitor.node_totals(n).by_kind_messages,
+                monitor.node_totals(n).by_kind_bytes)
+            for n in monitor.nodes()
+        },
+        "series": {n: monitor.series(n) for n in monitor.nodes()},
+    }
+
+
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_monitor_merge_and_pickle_parity(seed_a, seed_b):
+    """record/record_multicast/merge_from/pickle agree across the twins."""
+
+    def run(core):
+        a = _feed(core.TrafficMonitor(), seed_a)
+        b = _feed(core.TrafficMonitor(), seed_b)
+        a.merge_from(b)
+        roundtrip = pickle.loads(pickle.dumps(a))
+        view = _monitor_view(a)
+        assert _monitor_view(roundtrip) == view
+        return view
+
+    pure_view = run(_pure)
+    if _COMPILED is None:
+        pytest.skip(f"pure leg passed; {_COMPILED_ABSENT_REASON}")
+    assert run(_COMPILED) == pure_view
+
+
+# ---------------------------------------------------------------------------
+# Latency kernel parity
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_latency_kernel_matches_stdlib_and_twin(seed):
+    """Both twins' kernels reproduce ``base + lognormvariate`` bit-for-bit
+    and consume the RNG in the same order."""
+    base, mu, sigma = 0.001, -1.5, 0.6
+
+    reference_rng = random.Random(seed)
+    reference = [base + reference_rng.lognormvariate(mu, sigma) for _ in range(32)]
+
+    def draws(core):
+        rng = random.Random(seed)
+        sample = core.make_lan_sampler(rng.random, base, mu, sigma)
+        singles = [sample("a", "b") for _ in range(16)]
+        batch = core.make_lan_batch_sampler(rng.random, base, mu, sigma)(
+            "a", [f"d{i}" for i in range(16)]
+        )
+        return singles + list(batch)
+
+    assert draws(_pure) == reference
+    if _COMPILED is None:
+        pytest.skip(f"pure leg passed; {_COMPILED_ABSENT_REASON}")
+    assert draws(_COMPILED) == reference

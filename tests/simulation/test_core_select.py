@@ -1,0 +1,103 @@
+"""Unit tests for the engine-core twin selection logic.
+
+``repro.simulation._core`` picks the pure or compiled twin at import time
+from ``REPRO_ENGINE``; these tests drive :func:`select_implementation`
+directly with fake module objects (so they run identically whether or not
+the extension is built) and spot-check the environment wiring in
+subprocesses.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import types
+
+import pytest
+
+from repro.simulation._core import (
+    _is_compiled,
+    active_engine,
+    core_info,
+    select_implementation,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def fake_module(name, file):
+    module = types.ModuleType(name)
+    module.__file__ = file
+    return module
+
+
+PURE = fake_module("fake._pure", "/x/_pure.py")
+EXTENSION = fake_module("fake._compiled", "/x/_compiled.cpython-311-x86_64-linux-gnu.so")
+STRAY_COPY = fake_module("fake._compiled", "/x/_compiled.py")
+
+
+def test_is_compiled_accepts_extension_rejects_source():
+    assert _is_compiled(EXTENSION)
+    assert not _is_compiled(PURE)
+    assert not _is_compiled(STRAY_COPY)
+    assert not _is_compiled(fake_module("f", "/x/_compiled.pyc"))
+    assert not _is_compiled(types.ModuleType("no_file"))
+
+
+def test_auto_prefers_extension_falls_back_to_pure():
+    assert select_implementation("auto", EXTENSION, PURE) == (EXTENSION, "compiled")
+    assert select_implementation("auto", None, PURE) == (PURE, "pure")
+    # A stray interpreted _compiled.py must not masquerade as the extension.
+    assert select_implementation("auto", STRAY_COPY, PURE) == (PURE, "pure")
+
+
+def test_pure_never_uses_extension():
+    assert select_implementation("pure", EXTENSION, PURE) == (PURE, "pure")
+
+
+def test_compiled_is_never_a_silent_fallback():
+    assert select_implementation("compiled", EXTENSION, PURE) == (EXTENSION, "compiled")
+    with pytest.raises(ImportError, match="REPRO_BUILD_EXT=1"):
+        select_implementation("compiled", None, PURE)
+    with pytest.raises(ImportError):
+        select_implementation("compiled", STRAY_COPY, PURE)
+
+
+def test_unknown_preference_is_rejected():
+    with pytest.raises(ValueError, match="REPRO_ENGINE"):
+        select_implementation("fast", EXTENSION, PURE)
+
+
+def test_active_engine_matches_core_info():
+    engine = active_engine()
+    info = core_info()
+    assert engine in ("pure", "compiled")
+    assert info["engine"] == engine
+    expected = "_compiled" if engine == "compiled" else "_pure"
+    assert info["module"].endswith(expected)
+
+
+def _engine_in_subprocess(env_value):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    if env_value is None:
+        env.pop("REPRO_ENGINE", None)
+    else:
+        env["REPRO_ENGINE"] = env_value
+    return subprocess.run(
+        [sys.executable, "-c",
+         "from repro.simulation._core import active_engine; print(active_engine())"],
+        capture_output=True, text=True, env=env,
+    )
+
+
+def test_environment_forces_pure():
+    result = _engine_in_subprocess("pure")
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "pure"
+
+
+def test_environment_rejects_garbage():
+    result = _engine_in_subprocess("turbo")
+    assert result.returncode != 0
+    assert "REPRO_ENGINE" in result.stderr
