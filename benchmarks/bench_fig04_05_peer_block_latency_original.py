@@ -9,13 +9,13 @@ tail — the last ~5% of receptions take one to several seconds (pull phase).
 from benchmarks._render import latency_figure_rows, summary_lines
 from benchmarks.conftest import run_once
 from repro.experiments.dissemination import run_dissemination
-from repro.experiments.figures import config_original, peer_level_figure, block_level_figure
+from repro.experiments.figures import block_level_figure, figure_config, peer_level_figure
 from repro.metrics.probability_plot import tail_latency
 
 
 def test_fig4_fig5_original_latency(benchmark, full_scale):
     result = run_once(
-        benchmark, lambda: run_dissemination(config_original(full=full_scale, seed=1))
+        benchmark, lambda: run_dissemination(figure_config("fig4", full=full_scale, seed=1))
     )
     assert result.coverage_complete()
 

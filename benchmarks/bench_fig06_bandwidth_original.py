@@ -8,13 +8,13 @@ dominate: each block crosses the wire ~282 times at n=100), dropping to a
 from benchmarks._render import bandwidth_figure_report
 from benchmarks.conftest import run_once
 from repro.experiments.dissemination import run_dissemination
-from repro.experiments.figures import bandwidth_figure, config_original
+from repro.experiments.figures import bandwidth_figure, figure_config
 
 
 def test_fig6_original_bandwidth(benchmark, full_scale):
     result = run_once(
         benchmark,
-        lambda: run_dissemination(config_original(full=full_scale, seed=1, with_background=True)),
+        lambda: run_dissemination(figure_config("fig4", full=full_scale, seed=1, with_background=True)),
     )
     figure = bandwidth_figure(result, "Figure 6 (original gossip)")
     print()

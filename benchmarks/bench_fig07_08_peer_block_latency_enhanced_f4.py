@@ -8,16 +8,12 @@ recovery is ever needed.
 from benchmarks._render import latency_figure_rows, summary_lines
 from benchmarks.conftest import run_once
 from repro.experiments.dissemination import run_dissemination
-from repro.experiments.figures import (
-    block_level_figure,
-    config_enhanced_f4,
-    peer_level_figure,
-)
+from repro.experiments.figures import block_level_figure, figure_config, peer_level_figure
 
 
 def test_fig7_fig8_enhanced_f4_latency(benchmark, full_scale):
     result = run_once(
-        benchmark, lambda: run_dissemination(config_enhanced_f4(full=full_scale, seed=1))
+        benchmark, lambda: run_dissemination(figure_config("fig7", full=full_scale, seed=1))
     )
     assert result.coverage_complete()
 

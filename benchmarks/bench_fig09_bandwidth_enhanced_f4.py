@@ -8,13 +8,13 @@ n + o(n) times; the leader is no hotter than a regular peer.
 from benchmarks._render import bandwidth_figure_report
 from benchmarks.conftest import run_once
 from repro.experiments.dissemination import run_dissemination
-from repro.experiments.figures import bandwidth_figure, config_enhanced_f4, config_original
+from repro.experiments.figures import bandwidth_figure, figure_config
 
 
 def test_fig9_enhanced_f4_bandwidth(benchmark, full_scale):
     def experiment():
-        enhanced = run_dissemination(config_enhanced_f4(full=full_scale, seed=1, with_background=True))
-        original = run_dissemination(config_original(full=full_scale, seed=1, with_background=True))
+        enhanced = run_dissemination(figure_config("fig7", full=full_scale, seed=1, with_background=True))
+        original = run_dissemination(figure_config("fig4", full=full_scale, seed=1, with_background=True))
         return enhanced, original
 
     enhanced, original = run_once(benchmark, experiment)

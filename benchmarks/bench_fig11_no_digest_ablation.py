@@ -8,20 +8,16 @@ an order of magnitude above the digest-based module (Fig. 9).
 from benchmarks._render import bandwidth_figure_report
 from benchmarks.conftest import run_once
 from repro.experiments.dissemination import run_dissemination
-from repro.experiments.figures import (
-    bandwidth_figure,
-    config_enhanced_f4,
-    config_no_digest_ablation,
-)
+from repro.experiments.figures import bandwidth_figure, figure_config
 
 
 def test_fig11_no_digest_ablation(benchmark, full_scale):
     def experiment():
         ablation = run_dissemination(
-            config_no_digest_ablation(full=full_scale, seed=1, with_background=True)
+            figure_config("fig11", full=full_scale, seed=1, with_background=True)
         )
         baseline = run_dissemination(
-            config_enhanced_f4(full=full_scale, seed=1, with_background=True)
+            figure_config("fig7", full=full_scale, seed=1, with_background=True)
         )
         return ablation, baseline
 

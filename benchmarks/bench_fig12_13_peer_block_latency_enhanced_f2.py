@@ -8,19 +8,14 @@ aggressive choice and fout=2 balances load better.
 from benchmarks._render import latency_figure_rows, summary_lines
 from benchmarks.conftest import run_once
 from repro.experiments.dissemination import run_dissemination
-from repro.experiments.figures import (
-    block_level_figure,
-    config_enhanced_f2,
-    config_enhanced_f4,
-    peer_level_figure,
-)
+from repro.experiments.figures import block_level_figure, figure_config, peer_level_figure
 from repro.metrics.probability_plot import tail_latency
 
 
 def test_fig12_fig13_enhanced_f2_latency(benchmark, full_scale):
     def experiment():
-        f2 = run_dissemination(config_enhanced_f2(full=full_scale, seed=1))
-        f4 = run_dissemination(config_enhanced_f4(full=full_scale, seed=1))
+        f2 = run_dissemination(figure_config("fig12", full=full_scale, seed=1))
+        f4 = run_dissemination(figure_config("fig7", full=full_scale, seed=1))
         return f2, f4
 
     f2, f4 = run_once(benchmark, experiment)

@@ -8,17 +8,13 @@ fout.
 from benchmarks._render import bandwidth_figure_report
 from benchmarks.conftest import run_once
 from repro.experiments.dissemination import run_dissemination
-from repro.experiments.figures import (
-    bandwidth_figure,
-    config_enhanced_f2,
-    config_enhanced_f4,
-)
+from repro.experiments.figures import bandwidth_figure, figure_config
 
 
 def test_fig14_enhanced_f2_bandwidth(benchmark, full_scale):
     def experiment():
-        f2 = run_dissemination(config_enhanced_f2(full=full_scale, seed=1, with_background=True))
-        f4 = run_dissemination(config_enhanced_f4(full=full_scale, seed=1, with_background=True))
+        f2 = run_dissemination(figure_config("fig12", full=full_scale, seed=1, with_background=True))
+        f4 = run_dissemination(figure_config("fig7", full=full_scale, seed=1, with_background=True))
         return f2, f4
 
     f2, f4 = run_once(benchmark, experiment)

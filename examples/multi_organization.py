@@ -95,7 +95,7 @@ def wan_scenario() -> None:
             if peer_index % 3 == org_index:
                 site_of[f"peer-{peer_index}"] = f"dc{org_index}"
     config = NetworkConfig(
-        latency_model=WanLatency(
+        latency=WanLatency(
             site_of=site_of,
             intra=LanLatency(),
             inter=ConstantLatency(0.045),  # ~transatlantic one-way

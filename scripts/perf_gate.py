@@ -189,6 +189,7 @@ def main(argv=None) -> int:
         check_reference_tolerance,
         check_sharded_determinism,
         compare_bench,
+        run_congestion_benchmark,
         run_core_benchmark,
         run_recovery_benchmark,
         run_shard_scaling_benchmark,
@@ -352,6 +353,16 @@ def main(argv=None) -> int:
                 )
         elif shard_scaling is not None:
             print("shard-scaling section carried forward (re-measure with --shard-bench)")
+        # Deterministic link physics, cheap to re-measure on every update
+        # (never carried forward: the rows must match the current code).
+        congestion = run_congestion_benchmark()
+        for row in congestion["rows"]:
+            print(
+                f"congestion [{row['gossip']}] block={row['block_bytes']:,}B: "
+                f"queue_delay={row['queue_delay_total_s']:.2f}s "
+                f"drops={row['dropped_tail'] + row['dropped_codel']} "
+                f"p95={row['latency_p95_s']:.3f}s"
+            )
         write_bench_json(
             results,
             args.baseline,
@@ -361,6 +372,7 @@ def main(argv=None) -> int:
             recovery_results=recovery_results,
             sweep_result=sweep_result,
             shard_scaling=shard_scaling,
+            congestion=congestion,
         )
         print(f"baseline updated: {args.baseline} (engine={engine})")
         return 0

@@ -5,8 +5,10 @@ Each paper figure maps to a registered scenario (see
 figure runs) plus an extraction routine that yields exactly the plotted
 series (probability-plot points for the latency CDFs, MB/s-per-10s series
 for the bandwidth plots). Benchmarks print these; tests assert their
-shapes. The ``config_*`` factories are kept as the public API and resolve
-their scenario through the registry.
+shapes. :data:`FIGURE_CONFIGS` names the scenario behind each figure and
+:func:`figure_config` resolves it to a runnable
+:class:`~repro.experiments.dissemination.DisseminationConfig` — there is
+no per-figure factory layer anymore.
 
 Scale: ``full=True`` selects the scenario's paper-scale workload (100
 peers / 1,000 blocks / ~2,000 s horizon); the default is a scaled run
@@ -17,7 +19,7 @@ identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.experiments.dissemination import (
     DisseminationConfig,
@@ -28,46 +30,49 @@ from repro.metrics.probability_plot import ProbabilityPoint, logistic_probabilit
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.runner import dissemination_config as _scenario_config
 
+# Figure registry: id -> the scenario declaration behind it.
+#   figs 4/5/6   fig-original               Fabric defaults (fout=3, pull 4 s)
+#   figs 7/8/9   fig-enhanced-f4            enhanced, fout=4, TTL=9, TTLdirect=2
+#   fig 10       fig-leader-fanout-ablation leader pushes with fanout = fout = 4
+#   fig 11       fig-no-digest-ablation     full blocks at every hop (no digests)
+#   figs 12/13/14 fig-enhanced-f2           enhanced, fout=2, TTL=19, TTLdirect=3
+FIGURE_CONFIGS: Dict[str, str] = {
+    "fig4": "fig-original",
+    "fig5": "fig-original",
+    "fig6": "fig-original",
+    "fig7": "fig-enhanced-f4",
+    "fig8": "fig-enhanced-f4",
+    "fig9": "fig-enhanced-f4",
+    "fig10": "fig-leader-fanout-ablation",
+    "fig11": "fig-no-digest-ablation",
+    "fig12": "fig-enhanced-f2",
+    "fig13": "fig-enhanced-f2",
+    "fig14": "fig-enhanced-f2",
+}
 
-def _figure_factory(scenario_name: str, doc: str) -> Callable[..., DisseminationConfig]:
-    """A ``config_*`` factory resolving ``scenario_name`` in the registry."""
-
-    def factory(
-        full: bool = False, seed: int = 1, with_background: bool = False
-    ) -> DisseminationConfig:
-        return _scenario_config(
-            get_scenario(scenario_name),
-            seed=seed,
-            full=full,
-            with_background=with_background,
-        )
-
-    factory.__name__ = f"config_{scenario_name.replace('-', '_')}"
-    factory.__doc__ = doc
-    factory.scenario_name = scenario_name
-    return factory
+LATENCY_FIGURES = ("fig4", "fig5", "fig7", "fig8", "fig12", "fig13")
+BANDWIDTH_FIGURES = ("fig6", "fig9", "fig10", "fig11", "fig14")
 
 
-config_original = _figure_factory(
-    "fig-original",
-    "Figs. 4/5/6: Fabric defaults (fout=3, pull 4 s, recovery 10 s).",
-)
-config_enhanced_f4 = _figure_factory(
-    "fig-enhanced-f4",
-    "Figs. 7/8/9: enhanced, fout=4, TTL=9, TTLdirect=2, leader fanout 1.",
-)
-config_enhanced_f2 = _figure_factory(
-    "fig-enhanced-f2",
-    "Figs. 12/13/14: enhanced, fout=2, TTL=19, TTLdirect=3.",
-)
-config_leader_fanout_ablation = _figure_factory(
-    "fig-leader-fanout-ablation",
-    "Fig. 10: enhanced f4 but the leader pushes with fanout = fout = 4.",
-)
-config_no_digest_ablation = _figure_factory(
-    "fig-no-digest-ablation",
-    "Fig. 11: enhanced f4 pushing full blocks at every hop (no digests).",
-)
+def figure_config(
+    figure_id: str,
+    full: bool = False,
+    seed: int = 1,
+    with_background: bool = False,
+) -> DisseminationConfig:
+    """The :class:`DisseminationConfig` behind ``figure_id``.
+
+    A direct registry lookup: :data:`FIGURE_CONFIGS` names the scenario,
+    :func:`~repro.scenarios.runner.dissemination_config` materializes it.
+    """
+    if figure_id not in FIGURE_CONFIGS:
+        raise KeyError(f"unknown figure {figure_id!r}")
+    return _scenario_config(
+        get_scenario(FIGURE_CONFIGS[figure_id]),
+        seed=seed,
+        full=full,
+        with_background=with_background,
+    )
 
 
 @dataclass
@@ -131,31 +136,12 @@ def bandwidth_figure(result: DisseminationResult, name: str) -> BandwidthFigure:
     )
 
 
-# Figure registry: id -> (config factory, which extraction applies).
-FIGURE_CONFIGS: Dict[str, Callable[..., DisseminationConfig]] = {
-    "fig4": config_original,
-    "fig5": config_original,
-    "fig6": config_original,
-    "fig7": config_enhanced_f4,
-    "fig8": config_enhanced_f4,
-    "fig9": config_enhanced_f4,
-    "fig10": config_leader_fanout_ablation,
-    "fig11": config_no_digest_ablation,
-    "fig12": config_enhanced_f2,
-    "fig13": config_enhanced_f2,
-    "fig14": config_enhanced_f2,
-}
-
-LATENCY_FIGURES = ("fig4", "fig5", "fig7", "fig8", "fig12", "fig13")
-BANDWIDTH_FIGURES = ("fig6", "fig9", "fig10", "fig11", "fig14")
-
-
 def run_figure(figure_id: str, full: bool = False, seed: int = 1):
     """Run the experiment behind ``figure_id`` and extract its series."""
-    if figure_id not in FIGURE_CONFIGS:
-        raise KeyError(f"unknown figure {figure_id!r}")
     needs_bandwidth = figure_id in BANDWIDTH_FIGURES
-    config = FIGURE_CONFIGS[figure_id](full=full, seed=seed, with_background=needs_bandwidth)
+    config = figure_config(
+        figure_id, full=full, seed=seed, with_background=needs_bandwidth
+    )
     result = run_dissemination(config)
     if needs_bandwidth:
         return bandwidth_figure(result, figure_id), result

@@ -2,8 +2,11 @@
 
 Models the 1 Gbps LAN of the paper's testbed: typed messages with explicit
 wire sizes (:mod:`repro.net.message`), configurable latency models
-(:mod:`repro.net.latency`), per-node full-duplex NIC serialization and
-delivery (:mod:`repro.net.network`) and traffic accounting for the bandwidth
+(:mod:`repro.net.latency`) front-ended by the declarative
+:class:`~repro.net.spec.LatencySpec` registry (:mod:`repro.net.spec`),
+per-node full-duplex NIC serialization and delivery
+(:mod:`repro.net.network`), optional bottleneck-link bandwidth/queueing
+physics (:mod:`repro.net.link`) and traffic accounting for the bandwidth
 figures (:mod:`repro.net.monitor`).
 """
 
@@ -11,18 +14,25 @@ from repro.net.latency import (
     ConstantLatency,
     LanLatency,
     LatencyModel,
+    MeasuredLatency,
     TopologyLatency,
     UniformLatency,
     WanLatency,
 )
+from repro.net.link import CoDelConfig, LinkModel
 from repro.net.message import Message
 from repro.net.monitor import TrafficMonitor, TrafficTotals
 from repro.net.network import Network, NetworkConfig
+from repro.net.spec import LatencySpec, latency_kinds, register_latency_kind
 
 __all__ = [
+    "CoDelConfig",
     "ConstantLatency",
     "LanLatency",
     "LatencyModel",
+    "LatencySpec",
+    "LinkModel",
+    "MeasuredLatency",
     "Message",
     "Network",
     "NetworkConfig",
@@ -31,4 +41,6 @@ __all__ = [
     "TrafficTotals",
     "UniformLatency",
     "WanLatency",
+    "latency_kinds",
+    "register_latency_kind",
 ]

@@ -9,15 +9,41 @@ what gives realistic sub-millisecond medians with occasional slow deliveries.
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.net.spec import LatencySpec, register_latency_kind, resolve_latency_spec
 from repro.simulation._core import make_lan_batch_sampler, make_lan_sampler
 
 
 class LatencyModel:
     """Interface: one-way propagation delay for a (src, dst) pair."""
+
+    @classmethod
+    def from_spec(cls, spec: "LatencySpec") -> "LatencyModel":
+        """Resolve a declarative :class:`~repro.net.spec.LatencySpec`
+        against the kind registry (``constant``, ``uniform``, ``lan``,
+        ``topology``, ``wan``, ``measured``, plus anything registered via
+        :func:`repro.net.spec.register_latency_kind`)."""
+        model = resolve_latency_spec(spec)
+        if not isinstance(model, LatencyModel):
+            raise TypeError(
+                f"latency kind {spec.kind!r} built a {type(model).__name__}, "
+                "expected a LatencyModel"
+            )
+        return model
+
+    def spec(self) -> "LatencySpec":
+        """The declarative spec this model round-trips through
+        (``LatencyModel.from_spec(model.spec())`` builds an equivalent
+        model). Models constructed from non-value state (ad-hoc
+        subclasses) may not support this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a declarative spec()"
+        )
 
     def sample(self, rng: random.Random, src: str, dst: str) -> float:
         raise NotImplementedError
@@ -83,6 +109,9 @@ class ConstantLatency(LatencyModel):
     def min_delay(self) -> float:
         return self.delay
 
+    def spec(self) -> "LatencySpec":
+        return LatencySpec.of("constant", delay=self.delay)
+
 
 class UniformLatency(LatencyModel):
     """Uniform delay in ``[low, high]``."""
@@ -108,6 +137,9 @@ class UniformLatency(LatencyModel):
 
     def min_delay(self) -> float:
         return self.low
+
+    def spec(self) -> "LatencySpec":
+        return LatencySpec.of("uniform", low=self.low, high=self.high)
 
 
 class WanLatency(LatencyModel):
@@ -139,6 +171,14 @@ class WanLatency(LatencyModel):
 
     def min_delay(self) -> float:
         return min(self.intra.min_delay(), self.inter.min_delay())
+
+    def spec(self) -> "LatencySpec":
+        return LatencySpec.of(
+            "wan",
+            site_of=self.site_of,
+            intra=self.intra.spec(),
+            inter=self.inter.spec(),
+        )
 
 
 class TopologyLatency(LatencyModel):
@@ -184,6 +224,12 @@ class TopologyLatency(LatencyModel):
             (src, dst): self._normalize(params) for (src, dst), params in matrix.items()
         }
         self._default = self._normalize(default)
+        # Raw (base, jitter_median, sigma) triples — kept so spec() can
+        # round-trip without exp(log(median)) float drift.
+        self._spec_matrix = {
+            (src, dst): self._pad(params) for (src, dst), params in matrix.items()
+        }
+        self._spec_default = self._pad(default)
         self._region_of: dict = dict(region_of) if region_of else {}
         # (src_node, dst_node) -> params memo; node pairs are bounded by
         # n^2 and the per-message resolve is two dict probes after warmup.
@@ -204,6 +250,17 @@ class TopologyLatency(LatencyModel):
             raise ValueError("latency parameters must be >= 0")
         mu = math.log(jitter_median) if jitter_median > 0 else None
         return (base, mu, jitter_sigma)
+
+    @staticmethod
+    def _pad(params) -> "Tuple[float, float, float]":
+        """Params padded to ``(base, jitter_median, sigma)``, jitter kept raw."""
+        if isinstance(params, (int, float)):
+            params = (float(params),)
+        parts = tuple(float(part) for part in params)
+        base = parts[0]
+        jitter_median = parts[1] if len(parts) > 1 else 0.0
+        jitter_sigma = parts[2] if len(parts) > 2 else 0.8
+        return (base, jitter_median, jitter_sigma)
 
     def assign_regions(self, region_of: "dict") -> None:
         """Place (or re-place) nodes into regions; clears the pair memo."""
@@ -258,6 +315,13 @@ class TopologyLatency(LatencyModel):
         if params is None:
             params = self._matrix.get((region_b, region_a), self._default)
         return params[0]
+
+    def spec(self) -> "LatencySpec":
+        matrix = tuple(
+            (src, dst, self._spec_matrix[(src, dst)])
+            for src, dst in sorted(self._spec_matrix)
+        )
+        return LatencySpec.of("topology", matrix=matrix, default=self._spec_default)
 
     def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
         # Same draw sequence as sample() — rng.lognormvariate per jittered
@@ -319,6 +383,14 @@ class LanLatency(LatencyModel):
     def min_delay(self) -> float:
         return self.base
 
+    def spec(self) -> "LatencySpec":
+        return LatencySpec.of(
+            "lan",
+            base=self.base,
+            jitter_median=self.jitter_median,
+            jitter_sigma=self.jitter_sigma,
+        )
+
     def bind(self, rng: random.Random) -> "Callable[[str, str], float]":
         base = self.base
         if self._mu is None:
@@ -342,3 +414,151 @@ class LanLatency(LatencyModel):
         # one call frame yet consume the RNG bit-for-bit like sequential
         # sample() calls would.
         return make_lan_batch_sampler(rng.random, base, self._mu, self.jitter_sigma)
+
+
+# ---------------------------------------------------------------------------
+# Measured (data-driven) latency
+# ---------------------------------------------------------------------------
+
+#: Ships with the package: a symmetric country-level RTT matrix (median
+#: city-to-city RTTs in milliseconds between representative datacenter
+#: locations, hand-assembled from public inter-region measurements).
+DEFAULT_MEASURED_DATASET = os.path.join(os.path.dirname(__file__), "data", "measured_latency.json")
+
+_measured_cache: Dict[str, dict] = {}
+
+
+def _load_measured_dataset(path: str) -> dict:
+    data = _measured_cache.get(path)
+    if data is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        for key in ("locations", "rtt_ms"):
+            if key not in data:
+                raise ValueError(f"measured latency dataset {path!r} missing {key!r}")
+        _measured_cache[path] = data
+    return data
+
+
+def measured_jitter_ratio(base: float) -> float:
+    """Jitter median as a fraction of the one-way base delay.
+
+    Distance-based: long paths cross more queues and more diverse routes,
+    so their jitter grows with the base delay (5% floor for same-metro
+    paths, saturating at 20% for intercontinental ones).
+    """
+    ratio = 0.05 + base
+    return ratio if ratio < 0.20 else 0.20
+
+
+class MeasuredLatency(TopologyLatency):
+    """Latency model backed by a measured RTT matrix loaded from JSON.
+
+    The dataset maps location pairs (countries/metros hosting the
+    datacenters peers run in) to median RTTs in milliseconds; the model
+    halves them into one-way base delays and adds a lognormal jitter tail
+    whose median scales with distance (:func:`measured_jitter_ratio`).
+    Being a :class:`TopologyLatency` subclass it inherits the bound-sampler
+    RNG contract, deferred :meth:`~TopologyLatency.assign_regions`
+    placement, and the per-region-pair ``min_delay`` bounds the shard
+    planner uses — a measured topology shards exactly like a declared one.
+
+    Args:
+        locations: optional subset of dataset locations to expose
+            (unknown names raise); ``None`` exposes the full matrix.
+        dataset: path to an alternative JSON dataset; ``None`` loads the
+            packaged :data:`DEFAULT_MEASURED_DATASET`.
+        jitter: set ``False`` for deterministic base-only delays.
+    """
+
+    def __init__(
+        self,
+        locations: "Optional[Sequence[str]]" = None,
+        dataset: "Optional[str]" = None,
+        jitter: bool = True,
+    ) -> None:
+        path = dataset if dataset is not None else DEFAULT_MEASURED_DATASET
+        data = _load_measured_dataset(path)
+        known = tuple(data["locations"])
+        if locations is None:
+            chosen = known
+        else:
+            chosen = tuple(locations)
+            unknown = [name for name in chosen if name not in known]
+            if unknown:
+                raise ValueError(
+                    f"unknown measured locations {unknown!r}; dataset has {list(known)}"
+                )
+        rtt_ms = data["rtt_ms"]
+        default_rtt = float(data.get("default_rtt_ms", 160.0))
+        matrix = {}
+        for index, loc_a in enumerate(chosen):
+            for loc_b in chosen[index:]:
+                ms = rtt_ms.get(f"{loc_a}|{loc_b}")
+                if ms is None:
+                    ms = rtt_ms.get(f"{loc_b}|{loc_a}", default_rtt)
+                matrix[(loc_a, loc_b)] = self._params_for(float(ms), jitter)
+        super().__init__(matrix, default=self._params_for(default_rtt, jitter))
+        self._locations = chosen
+        self._dataset = dataset
+        self._jitter = jitter
+
+    @staticmethod
+    def _params_for(rtt_ms: float, jitter: bool) -> "Tuple[float, float, float]":
+        base = rtt_ms / 2000.0  # median RTT in ms -> one-way seconds
+        if not jitter:
+            return (base, 0.0, 0.8)
+        return (base, base * measured_jitter_ratio(base), 0.8)
+
+    @property
+    def countries(self) -> "Tuple[str, ...]":
+        """Locations this model covers (dataset order)."""
+        return self._locations
+
+    def get_latency(self, loc_a: str, loc_b: str) -> float:
+        """One-way base delay in seconds between two covered locations."""
+        if loc_a not in self._locations or loc_b not in self._locations:
+            raise KeyError(f"location pair ({loc_a!r}, {loc_b!r}) not covered")
+        return self.min_delay_between_regions(loc_a, loc_b)
+
+    def spec(self) -> "LatencySpec":
+        params: dict = {}
+        if self._locations is not None and self._dataset is None:
+            data = _load_measured_dataset(DEFAULT_MEASURED_DATASET)
+            if self._locations != tuple(data["locations"]):
+                params["locations"] = self._locations
+        elif self._dataset is not None:
+            params["locations"] = self._locations
+            params["dataset"] = self._dataset
+        if not self._jitter:
+            params["jitter"] = False
+        return LatencySpec.of("measured", **params)
+
+
+# ---------------------------------------------------------------------------
+# Spec-kind registry (see repro/net/spec.py; LatencyModel.from_spec resolves)
+# ---------------------------------------------------------------------------
+
+
+def _build_topology(matrix=(), default=0.048, region_of=None) -> TopologyLatency:
+    entries = {}
+    for entry in matrix:
+        src, dst, params = entry
+        entries[(src, dst)] = params
+    return TopologyLatency(entries, default=default, region_of=region_of)
+
+
+def _build_wan(site_of, intra, inter) -> WanLatency:
+    return WanLatency(
+        site_of=dict(site_of),
+        intra=LatencyModel.from_spec(intra),
+        inter=LatencyModel.from_spec(inter),
+    )
+
+
+register_latency_kind("constant", ConstantLatency)
+register_latency_kind("uniform", UniformLatency)
+register_latency_kind("lan", LanLatency)
+register_latency_kind("topology", _build_topology)
+register_latency_kind("wan", _build_wan)
+register_latency_kind("measured", MeasuredLatency)

@@ -45,13 +45,17 @@ detail (see ``docs/networking.md`` for the full decision guide):
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from heapq import heappush as _heappush
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.net.latency import LanLatency, LatencyModel
+from repro.net.link import LinkModel, new_queue_stats, summarize_queue_accounting
 from repro.net.message import Message
 from repro.net.monitor import TrafficMonitor
+from repro.net.spec import LatencySpec
+from repro.simulation._core import LINK_DROP_TAIL, link_enqueue
 from repro.simulation.engine import Simulator
 from repro.simulation.random import RandomStreams
 
@@ -64,6 +68,11 @@ GIGABIT_PER_SECOND_BYTES = 125_000_000  # 1 Gbps full duplex, per direction
 # records; the cap only matters after pathological bursts.
 _RECORD_POOL_MAX = 4096
 
+# One DeprecationWarning per process for the latency_model= construction
+# path; dataclasses.replace re-runs __post_init__ on every copy, and a
+# config replicated across shard workers must not spam the log.
+_warned_latency_model = False
+
 
 @dataclass
 class NetworkConfig:
@@ -73,7 +82,14 @@ class NetworkConfig:
         bandwidth: NIC rate in bytes/second per direction (full duplex).
         envelope_overhead: fixed per-message overhead in bytes (TCP/IP +
             gRPC framing + protobuf envelope + signature).
-        latency_model: propagation model; default LAN.
+        latency: the propagation model, preferably as a declarative
+            :class:`~repro.net.spec.LatencySpec` (resolved through the
+            kind registry); a ready :class:`LatencyModel` instance is also
+            accepted. ``None`` defaults to LAN latency.
+        link: optional :class:`~repro.net.link.LinkModel` adding sender
+            bottleneck-link physics — finite bandwidth (serialization
+            delay), a bounded queue and CoDel-style AQM drops — on top of
+            the NIC model. ``None`` (or a no-op link) disables it.
         monitor_bin_width: traffic accounting bin width (seconds).
         downlink_queue_min_bytes: receive-side serialization is modelled
             only for messages at least this large (full blocks). Small
@@ -84,14 +100,52 @@ class NetworkConfig:
             topologies). Region-aware latency models consult it; the fault
             layer uses it to resolve region-level partition/degrade events.
             ``build_network`` fills it from the organization placement.
+        latency_model: deprecated constructor alias for ``latency``
+            (model-instance form). After construction this attribute
+            always holds the *resolved* model instance — existing readers
+            keep working — but passing it is deprecated; pass ``latency``
+            (ideally a spec) instead.
     """
 
     bandwidth: float = float(GIGABIT_PER_SECOND_BYTES)
     envelope_overhead: int = 256
-    latency_model: LatencyModel = field(default_factory=LanLatency)
+    latency: Union[LatencySpec, LatencyModel, None] = None
     monitor_bin_width: float = 1.0
     downlink_queue_min_bytes: int = 25_000
     regions: Optional[Dict[str, str]] = None
+    link: Optional[LinkModel] = None
+    latency_model: Optional[LatencyModel] = None
+
+    def __post_init__(self) -> None:
+        if self.link is not None and not isinstance(self.link, LinkModel):
+            raise TypeError(f"link must be a LinkModel, got {type(self.link).__name__}")
+        if self.latency_model is not None:
+            # Deprecated path — or a dataclasses.replace of an already
+            # resolved config, which carries both fields. In either case
+            # the instance wins: replace() must preserve a model whose
+            # assign_regions state was mutated after resolution.
+            if self.latency is None:
+                global _warned_latency_model
+                if not _warned_latency_model:
+                    _warned_latency_model = True
+                    warnings.warn(
+                        "NetworkConfig(latency_model=...) is deprecated; pass "
+                        "latency=<LatencySpec> (or a LatencyModel) instead",
+                        DeprecationWarning,
+                        stacklevel=3,
+                    )
+            return
+        latency = self.latency
+        if latency is None:
+            self.latency_model = LanLatency()
+        elif isinstance(latency, LatencySpec):
+            self.latency_model = LatencyModel.from_spec(latency)
+        elif isinstance(latency, LatencyModel):
+            self.latency_model = latency
+        else:
+            raise TypeError(
+                f"latency must be a LatencySpec or LatencyModel, got {type(latency).__name__}"
+            )
 
 
 class Network:
@@ -144,6 +198,32 @@ class Network:
         self._batch_samplers: Dict[str, Callable] = {}
         self._record = self.monitor.record
         self._record_multicast = self.monitor.record_multicast
+        # Bottleneck-link physics (repro.net.link). A no-op link (infinite
+        # bandwidth) is disarmed outright so the link-free hot paths —
+        # including the vectorized multicast fast path, which a live link
+        # must avoid because copies can drop — run exactly as before;
+        # that, plus the kernel's zero-RNG guarantee, is what keeps
+        # pre-link goldens bit-for-bit identical (docs/networking.md).
+        link = self.config.link
+        if link is not None and link.is_noop:
+            link = None
+        self._link = link
+        if link is not None:
+            self._link_bandwidth = link.bandwidth
+            (
+                self._link_queue_limit,
+                self._link_target,
+                self._link_interval,
+                self._link_max_p,
+                self._link_ramp,
+            ) = link.kernel_args()
+        # Per-source mutable queue state ([free_at, first_above, count,
+        # dropping]), CoDel drop RNG (stream ``network:queue:<src>``) and
+        # accounting — all keyed by sender, like the latency streams, so
+        # link physics shard along with everything else.
+        self._link_states: Dict[str, list] = {}
+        self._queue_rngs: Dict[str, Callable[[], float]] = {}
+        self._queue_stats: Dict[str, List[float]] = {}
         # Process-sharded execution (repro.simulation.sharded): when a
         # shard owns only a subset of the nodes, sends to foreign
         # destinations compute their full physics here (monitor record,
@@ -206,6 +286,68 @@ class Network:
         if src not in self._send_samplers:
             self._bind_latency(src)
         return self._streams.stream(f"network:latency:{src}")
+
+    def _link_admit(self, src: str, size: int, at: float) -> float:
+        """Admit one ``size``-byte copy to ``src``'s bottleneck link at
+        time ``at`` (the moment it clears the NIC). Returns the time the
+        copy finishes serializing onto the wire, or ``-1.0`` if the link
+        dropped it (bounded queue overflow or CoDel).
+
+        RNG contract (docs/networking.md): CoDel's probabilistic drops
+        draw from the per-source ``network:queue:<src>`` stream — at most
+        one uniform per copy, *before* the copy's latency draw, and a
+        dropped copy consumes no latency draw at all. Tail drops consume
+        no RNG. Callers must therefore invoke this before sampling
+        propagation latency and skip the sample on drop.
+        """
+        state = self._link_states.get(src)
+        if state is None:
+            state = [0.0, 0.0, 0.0, 0.0]
+            self._link_states[src] = state
+            self._queue_rngs[src] = self._streams.stream(f"network:queue:{src}").random
+            self._queue_stats[src] = new_queue_stats()
+        transfer = size / self._link_bandwidth
+        done = link_enqueue(
+            state,
+            at,
+            transfer,
+            self._link_queue_limit,
+            self._link_target,
+            self._link_interval,
+            self._link_max_p,
+            self._link_ramp,
+            self._queue_rngs[src],
+        )
+        stats = self._queue_stats[src]
+        stats[0] += 1.0
+        if done < 0.0:
+            if done == LINK_DROP_TAIL:
+                stats[1] += 1.0
+            else:
+                stats[2] += 1.0
+            return -1.0
+        wait = done - transfer - at
+        if wait > 0.0:
+            stats[3] += wait
+            if wait > stats[4]:
+                stats[4] = wait
+            stats[5] += size
+        return done
+
+    def queue_accounting(self) -> Dict[str, List[float]]:
+        """Per-source link-queue accounting records (see
+        :func:`repro.net.link.new_queue_stats` for the slot layout).
+        Sharded runs merge these dicts across workers — sources are owned
+        by exactly one shard, so the union is disjoint."""
+        return self._queue_stats
+
+    def link_summary(self) -> Dict[str, object]:
+        """The snapshot ``link`` section: enabled flag + aggregated queue
+        accounting (sorted-source summation — bit-for-bit equal between
+        single-process and merged sharded runs)."""
+        summary: Dict[str, object] = {"enabled": self._link is not None}
+        summary.update(summarize_queue_accounting(self._queue_stats))
+        return summary
 
     def enable_shard_egress(self, owned, egress: list) -> None:
         """Put the network into sharded mode.
@@ -273,6 +415,14 @@ class Network:
         free_at = uplink_free_at.get(src, 0.0)
         uplink_done = (free_at if free_at > now else now) + transfer
         uplink_free_at[src] = uplink_done
+        if self._link is not None:
+            # Bottleneck link after the NIC: serialization at link
+            # bandwidth plus bounded-queue residency; a dropped copy
+            # consumed its queue draw (if any) but takes no latency draw.
+            uplink_done = self._link_admit(src, size, uplink_done)
+            if uplink_done < 0.0:
+                self.dropped_messages += 1
+                return
         sample = self._send_samplers.get(src)
         if sample is None:
             sample = self._bind_latency(src)
@@ -382,7 +532,9 @@ class Network:
         if n == 1:
             self.send(src, dsts[0], message)
             return
-        if self._n_disconnected or self._drop_filter is not None:
+        if self._n_disconnected or self._drop_filter is not None or self._link is not None:
+            # A live link can drop copies and interleaves a queue draw
+            # before each latency draw, so it needs the per-copy loop too.
             self._multicast_guarded(src, dsts, message)
             return
         # Steady-state fast path: no fault machinery installed, so no copy
@@ -492,6 +644,7 @@ class Network:
         transfer = size / self._bandwidth
         queue_min = self._queue_min
         uplink_free_at = self._uplink_free_at
+        link_armed = self._link is not None
         for dst in dsts:
             if self._n_disconnected:
                 disconnected = self._disconnected
@@ -507,6 +660,14 @@ class Network:
             free_at = uplink_free_at.get(src, 0.0)
             uplink_done = (free_at if free_at > now else now) + transfer
             uplink_free_at[src] = uplink_done
+            if link_armed:
+                # Same order as send(): queue draw (if CoDel is dropping)
+                # before the latency draw; a dropped copy takes neither
+                # the latency draw nor a delivery event.
+                uplink_done = self._link_admit(src, size, uplink_done)
+                if uplink_done < 0.0:
+                    self.dropped_messages += 1
+                    continue
             arrival = uplink_done + sample(src, dst)
             if size < queue_min:
                 sim.schedule_call(arrival + transfer, self._deliver, (src, dst, message))
@@ -670,6 +831,15 @@ class Network:
         free_at = uplink_free_at.get(src, 0.0)
         uplink_done = (free_at if free_at > now else now) + transfer * len(recipients)
         uplink_free_at[src] = uplink_done
+        if self._link is not None:
+            # The aggregate is one batched emission, so it crosses the
+            # bottleneck as one burst: a single admission (one queue draw
+            # at most) for the fanout's total bytes, and a drop loses the
+            # whole batch — mirroring the single shared latency draw.
+            uplink_done = self._link_admit(src, size * len(recipients), uplink_done)
+            if uplink_done < 0.0:
+                self.dropped_messages += len(recipients)
+                return
         sample = self._send_samplers.get(src)
         if sample is None:
             sample = self._bind_latency(src)

@@ -1,0 +1,164 @@
+"""Declarative latency specification: a frozen ``(kind, params)`` value.
+
+A :class:`LatencySpec` names a latency model by registry kind plus the
+keyword parameters needed to build it — a plain value that can live in a
+:class:`~repro.scenarios.spec.ScenarioSpec`, travel through JSON, and be
+compared for equality, where a live :class:`~repro.net.latency.
+LatencyModel` instance cannot (models carry bound RNG samplers and memo
+caches). ``LatencyModel.from_spec`` resolves a spec against the registry
+populated by :mod:`repro.net.latency` at import time.
+
+This module is deliberately a leaf: it imports no model classes, so the
+spec layer can be consumed by configuration code (``scenarios/spec.py``,
+``NetworkConfig``) without dragging in the sampling machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+__all__ = [
+    "LatencySpec",
+    "latency_kinds",
+    "register_latency_kind",
+    "resolve_latency_spec",
+]
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert ``value`` into a hashable, order-stable form.
+
+    Mappings become sorted ``(key, value)`` tuples, lists/tuples become
+    tuples. Specs must be valid dict keys and compare by value, so the
+    params tuple cannot hold anything mutable.
+    """
+    if isinstance(value, LatencySpec):
+        return value
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"LatencySpec params must be JSON-like (str/int/float/bool/None, "
+        f"mappings, sequences, nested specs); got {type(value).__name__}"
+    )
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for handing params to a builder.
+
+    Frozen mappings (tuples of string-keyed pairs) come back as dicts,
+    other tuples as tuples. Nested specs pass through untouched — the
+    builder decides whether to resolve them.
+    """
+    if isinstance(value, LatencySpec):
+        return value
+    if isinstance(value, tuple):
+        if value and all(
+            isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], str)
+            for item in value
+        ):
+            return {key: _thaw(inner) for key, inner in value}
+        return tuple(_thaw(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """A latency model as data: registry ``kind`` + frozen ``params``.
+
+    Build one with :meth:`of` (keyword arguments are frozen for you)::
+
+        LatencySpec.of("lan", base=0.012)
+        LatencySpec.of("measured", locations=("Germany", "Japan"))
+
+    and resolve it with ``LatencyModel.from_spec(spec)``. ``as_dict()`` /
+    ``from_dict()`` round-trip through JSON-compatible dicts.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise ValueError(f"LatencySpec.kind must be a non-empty string, got {self.kind!r}")
+        frozen = _freeze(dict(self.params))
+        object.__setattr__(self, "params", frozen)
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "LatencySpec":
+        return cls(kind=kind, params=tuple(params.items()))
+
+    def kwargs(self) -> Dict[str, Any]:
+        """Params as a keyword dict for the registered builder."""
+        return {key: _thaw(value) for key, value in self.params}
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (tuples become lists)."""
+
+        def plain(value: Any) -> Any:
+            if isinstance(value, LatencySpec):
+                return {"__latency_spec__": value.as_dict()}
+            if isinstance(value, tuple):
+                thawed = _thaw(value)
+                if isinstance(thawed, dict):
+                    return {key: plain(inner) for key, inner in thawed.items()}
+                return [plain(item) for item in thawed]
+            return value
+
+        return {"kind": self.kind, "params": {key: plain(val) for key, val in self.params}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LatencySpec":
+        def revive(value: Any) -> Any:
+            if isinstance(value, Mapping):
+                if set(value) == {"__latency_spec__"}:
+                    return cls.from_dict(value["__latency_spec__"])
+                return {key: revive(inner) for key, inner in value.items()}
+            if isinstance(value, list):
+                return tuple(revive(item) for item in value)
+            return value
+
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError(f"LatencySpec params must be a mapping, got {type(params).__name__}")
+        return cls.of(str(data["kind"]), **{str(k): revive(v) for k, v in params.items()})
+
+
+# Registry: kind -> builder(**params) -> LatencyModel. Populated by
+# repro.net.latency at import time; scenario packages may register more.
+_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_latency_kind(kind: str, builder: Callable[..., Any]) -> None:
+    """Register ``builder`` for ``kind`` (last registration wins)."""
+    if not kind or not isinstance(kind, str):
+        raise ValueError(f"latency kind must be a non-empty string, got {kind!r}")
+    _REGISTRY[kind] = builder
+
+
+def latency_kinds() -> Tuple[str, ...]:
+    """Registered kinds, sorted — for error messages and docs."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_latency_spec(spec: "LatencySpec") -> Any:
+    """Build the model a spec describes. Raises ``KeyError`` for unknown kinds."""
+    if not isinstance(spec, LatencySpec):
+        raise TypeError(f"expected LatencySpec, got {type(spec).__name__}")
+    try:
+        builder = _REGISTRY[spec.kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown latency kind {spec.kind!r}; registered kinds: {', '.join(latency_kinds())}"
+        ) from None
+    return builder(**spec.kwargs())
+
+
+# Convenience: dataclasses.replace on frozen specs still goes through
+# __post_init__, so replaced params get re-frozen automatically.
+replace = dataclasses.replace

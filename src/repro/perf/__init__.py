@@ -19,6 +19,7 @@ from repro.perf.profile import (
     ShardScalingResult,
     SweepBenchResult,
     profile_core,
+    run_congestion_benchmark,
     run_core_benchmark,
     run_recovery_benchmark,
     run_shard_scaling_benchmark,
@@ -56,6 +57,7 @@ __all__ = [
     "compare_bench",
     "metric_snapshot",
     "profile_core",
+    "run_congestion_benchmark",
     "run_core_benchmark",
     "run_recovery_benchmark",
     "run_shard_scaling_benchmark",

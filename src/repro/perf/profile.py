@@ -79,6 +79,17 @@ SHARD_BENCH_PEERS = 10_000
 SHARD_BENCH_BLOCKS = 2
 SHARD_BENCH_COUNTS = (1, 2, 4)
 
+# Congestion benchmark: the registered ``congested-uplink`` deployment
+# (finite sender uplinks, bounded queue, CoDel AQM) driven once with the
+# enhanced digest-based gossip and once with the original push-full-blocks
+# gossip, at a small and a large block size. The interesting signal is the
+# divergence at large blocks: full-block pushing serializes every copy
+# through the bottleneck and queues/drops, digests keep the fanout cheap.
+# Deterministic physics (queue delay, drops, latency), never wall-clock —
+# recorded in BENCH_core.json for the trajectory, not gated.
+CONGESTION_BENCH_SCENARIO = "congested-uplink"
+CONGESTION_BENCH_TX_SIZES = (800, 4_800)
+
 
 def _shard_bench_gossip() -> EnhancedGossipConfig:
     """Module-level factory so the shard-bench spec stays picklable."""
@@ -401,6 +412,65 @@ def run_shard_scaling_benchmark(
     )
 
 
+def run_congestion_benchmark(
+    seed: int = BENCH_SEED,
+    tx_sizes: Sequence[int] = CONGESTION_BENCH_TX_SIZES,
+) -> dict:
+    """Queueing-delay signal on the ``congested-uplink`` deployment.
+
+    Drives the registered congestion scenario with the enhanced
+    (digest-based, pull-for-payload) gossip and with the original
+    (push-full-blocks) gossip at each block size. Every number is
+    deterministic link physics — queue residency, tail/CoDel drops,
+    dissemination latency — so the rows replay bit-for-bit; the committed
+    section documents how the push/pull divergence opens as blocks grow.
+    """
+    import dataclasses
+
+    from repro.gossip.config import OriginalGossipConfig
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.runner import run_scenario
+
+    base = get_scenario(CONGESTION_BENCH_SCENARIO)
+    rows: List[dict] = []
+    for gossip_name, gossip in (
+        ("enhanced-f4 (digests, pull payload)", base.gossip),
+        ("original (push full blocks)", OriginalGossipConfig),
+    ):
+        for tx_size in tx_sizes:
+            spec = base.with_overrides(
+                gossip=gossip,
+                workload=dataclasses.replace(base.workload, tx_size=tx_size),
+            )
+            snapshot = run_scenario(spec, seed=seed).snapshot()
+            link = snapshot["link"]
+            rows.append(
+                {
+                    "gossip": gossip_name,
+                    "tx_size_bytes": tx_size,
+                    "block_bytes": tx_size * base.workload.tx_per_block,
+                    "packets": link["packets"],
+                    "dropped_tail": link["dropped_tail"],
+                    "dropped_codel": link["dropped_codel"],
+                    "queue_delay_total_s": link["queue_delay_total"],
+                    "queue_delay_max_s": link["queue_delay_max"],
+                    "latency_p50_s": snapshot["latency_p50"],
+                    "latency_p95_s": snapshot["latency_p95"],
+                    "dropped_messages": snapshot["dropped_messages"],
+                    "engine": active_engine(),
+                }
+            )
+    return {
+        "scenario": CONGESTION_BENCH_SCENARIO,
+        "seed": seed,
+        "note": "deterministic link physics (bit-for-bit replayable), not "
+                "wall-clock; the push/pull latency and queue-delay gap at "
+                "the large block size is the paper's motivation for "
+                "digest-based dissemination under constrained uplinks",
+        "rows": rows,
+    }
+
+
 def run_core_benchmark(
     sizes: Sequence[int] = BENCH_SIZES,
     blocks: int = BENCH_BLOCKS,
@@ -455,6 +525,7 @@ def write_bench_json(
     recovery_results: Optional[Sequence[CoreBenchResult]] = None,
     sweep_result: Optional[SweepBenchResult] = None,
     shard_scaling: Optional[dict] = None,
+    congestion: Optional[dict] = None,
 ) -> dict:
     """Write ``BENCH_core.json`` and return the payload.
 
@@ -475,6 +546,10 @@ def write_bench_json(
             shards=1/2/4 events/sec row. Informational, never gated:
             parallel speedup is machine-dependent (a single-core container
             records coordination overhead instead of speedup).
+        congestion: optional congestion section
+            (:func:`run_congestion_benchmark`) — deterministic
+            queueing-delay rows on the ``congested-uplink`` scenario.
+            Informational, never gated.
     """
     payload = {
         "benchmark": "core_engine",
@@ -517,6 +592,8 @@ def write_bench_json(
         payload["sweep_results"] = [asdict(sweep_result)]
     if shard_scaling is not None:
         payload["shard_scaling"] = shard_scaling
+    if congestion is not None:
+        payload["congestion"] = congestion
     if baseline_events_per_sec is not None:
         payload["baseline_events_per_sec"] = {
             str(n): eps for n, eps in baseline_events_per_sec.items()

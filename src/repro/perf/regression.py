@@ -130,6 +130,12 @@ _SCENARIOS: Dict[str, tuple] = {
     "enhanced-n50-b6-seed1-background": ("golden-enhanced-50-bg", 1),
     "recovery-crash-n50-b6-seed1": ("golden-recovery-crash", 1),
     "wan-3-region-seed1": ("wan-3-region", 1),
+    # Congestion goldens: pin the bottleneck-link physics — serialization
+    # delay, bounded-queue tail drops, CoDel episodes and the
+    # network:queue:<src> RNG stream (congested-uplink on a LAN;
+    # fat-block-storm additionally pins the measured-RTT provider).
+    "congested-uplink-seed1": ("congested-uplink", 1),
+    "fat-block-storm-seed1": ("fat-block-storm", 1),
 }
 
 # The engine-internal executed-event count is the one golden metric that

@@ -23,6 +23,8 @@ from repro.faults.schedule import (
     PartitionEvent,
 )
 from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
+from repro.net.link import CoDelConfig, LinkModel
+from repro.net.spec import LatencySpec
 from repro.scenarios.spec import LinkSpec, RegionTopology, ScenarioSpec, WorkloadSpec
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
@@ -203,6 +205,67 @@ register(ScenarioSpec(
     background=True,
     faults=(CrashEvent(at=2.0, recover_at=6.0, regular_slice=(0, 5)),),
     workload=WorkloadSpec(blocks=6, idle_tail=0.0, grace_period=120.0),
+))
+
+# --------------------------------------------------------------------------
+# Congestion scenarios: bottleneck-link physics (finite sender bandwidth,
+# bounded queue, CoDel AQM). Blocks are large enough that serialization
+# delay dominates propagation, so these exercise the queueing model the
+# determinism goldens pin: nonzero queue residency and (under pressure)
+# tail/CoDel drops, replayed bit-for-bit at any shard count.
+# --------------------------------------------------------------------------
+
+register(ScenarioSpec(
+    name="congested-uplink",
+    description="40 peers behind 3 MB/s uplinks; ~480 KB blocks queue at the sender",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=40,
+    link=LinkModel(
+        bandwidth=3_000_000.0,
+        queue_bytes=600_000.0,
+        codel=CoDelConfig(),
+    ),
+    workload=WorkloadSpec(
+        blocks=5,
+        block_period=1.5,
+        tx_per_block=100,
+        tx_size=4_800,
+        idle_tail=20.0,
+        grace_period=120.0,
+    ),
+    seeds=(1, 2),
+))
+
+register(ScenarioSpec(
+    name="fat-block-storm",
+    description="30 peers on measured WAN RTTs; fat blocks every 0.8 s saturate 6 MB/s links",
+    gossip=EnhancedGossipConfig.paper_f4,
+    n_peers=30,
+    organizations=4,
+    latency=LatencySpec.of(
+        "measured",
+        locations=("Virginia", "Ireland", "Tokyo", "Sydney"),
+    ),
+    placement=(
+        ("org0", "Virginia"),
+        ("org1", "Ireland"),
+        ("org2", "Tokyo"),
+        ("org3", "Sydney"),
+    ),
+    link=LinkModel(
+        bandwidth=6_000_000.0,
+        queue_bytes=1_500_000.0,
+        codel=CoDelConfig(),
+    ),
+    workload=WorkloadSpec(
+        blocks=4,
+        block_period=0.8,
+        tx_per_block=100,
+        tx_size=4_800,
+        idle_tail=30.0,
+        grace_period=120.0,
+    ),
+    seeds=(1, 2),
 ))
 
 # --------------------------------------------------------------------------

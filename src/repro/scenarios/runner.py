@@ -45,7 +45,9 @@ def dissemination_config(
     enable_background = spec.background if with_background is None else with_background
     network: Optional[NetworkConfig] = None
     if spec.topology is not None:
-        network = NetworkConfig(latency_model=spec.topology.build_latency())
+        network = NetworkConfig(latency=spec.topology.latency_spec(), link=spec.link)
+    elif spec.latency is not None or spec.link is not None:
+        network = NetworkConfig(latency=spec.latency, link=spec.link)
     return DisseminationConfig(
         gossip=spec.gossip(),
         n_peers=spec.n_peers,
@@ -104,6 +106,10 @@ class ScenarioRun:
             "dropped_messages": net.network.dropped_messages,
             "blocks_via_recovery": self.result.recovery_usage(),
             "resilience": self.resilience(),
+            # Bottleneck-link queue accounting (all-zero with the link
+            # model disabled); sharded runs rebuild the identical section
+            # from merged per-source records (see merge_shard_results).
+            "link": net.network.link_summary(),
             # Which engine core (pure/compiled) produced the run. Runtime
             # metadata, not physics: both twins produce identical metrics
             # (the compiled-core CI job replays the goldens to prove it),

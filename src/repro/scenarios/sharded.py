@@ -52,6 +52,7 @@ from repro.faults.schedule import compile_fault_schedule
 from repro.metrics.latency import DisseminationTracker
 from repro.metrics.resilience import peer_resilience_counters, resilience_snapshot
 from repro.metrics.runhealth import RunHealth
+from repro.net.link import merge_queue_accounting, summarize_queue_accounting
 from repro.net.monitor import TrafficMonitor
 from repro.net.network import NetworkConfig
 from repro.scenarios.registry import get_scenario
@@ -135,6 +136,11 @@ class ShardResult:
     faults_dropped: int = 0
     peers_joined: int = 0
     peers_departed: int = 0
+    # Bottleneck-link queue accounting for this shard's owned sources
+    # (disjoint across shards — every source is executed by exactly one
+    # shard), merged into the snapshot's ``link`` section.
+    link_enabled: bool = False
+    queue_accounting: Dict[str, list] = field(default_factory=dict)
 
 
 def _foreign_handler(name: str, shard_id: int):
@@ -283,6 +289,8 @@ class ShardSession:
             faults_dropped=self.schedule.dropped_messages,
             peers_joined=self.schedule.peers_joined,
             peers_departed=self.schedule.peers_departed,
+            link_enabled=net.network._link is not None,
+            queue_accounting=net.network.queue_accounting(),
         )
 
 
@@ -418,6 +426,15 @@ def merge_shard_results(
         "dropped_messages": sum(result.dropped_messages for result in ordered),
         "blocks_via_recovery": sum(result.blocks_via_recovery for result in ordered),
         "resilience": resilience,
+        # Rebuild the link section from the disjoint per-source records;
+        # summarize_queue_accounting sums in sorted source order, so the
+        # floats match the single-process section bit-for-bit.
+        "link": dict(
+            {"enabled": ordered[0].link_enabled},
+            **summarize_queue_accounting(
+                merge_queue_accounting(result.queue_accounting for result in ordered)
+            ),
+        ),
         # Same runtime metadata as ScenarioRun.snapshot — workers inherit
         # the coordinator's environment, so the active engine is uniform
         # across shards and sharded == single-process snapshots stay

@@ -23,6 +23,8 @@ from typing import Callable, Dict, Optional, Tuple, Union
 from repro.faults.schedule import FaultEvent
 from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
 from repro.net.latency import LanLatency, TopologyLatency
+from repro.net.link import LinkModel
+from repro.net.spec import LatencySpec
 
 GossipChoice = Union[OriginalGossipConfig, EnhancedGossipConfig]
 GossipFactory = Callable[[], GossipChoice]
@@ -84,6 +86,16 @@ class RegionTopology:
         if self.orderer_region is not None and self.orderer_region not in known:
             raise ValueError(f"unknown orderer region {self.orderer_region!r}")
 
+    def latency_spec(self) -> LatencySpec:
+        """This topology as a declarative ``topology``-kind latency spec
+        (what :func:`~repro.scenarios.runner.dissemination_config` hands
+        to :class:`~repro.net.network.NetworkConfig`)."""
+        matrix = tuple(
+            [(region, region, self.intra.params()) for region in self.regions]
+            + [(a, b, link.params()) for a, b, link in self.links]
+        )
+        return LatencySpec.of("topology", matrix=matrix, default=self.default_inter.params())
+
     def build_latency(self) -> TopologyLatency:
         """A fresh (unplaced) :class:`TopologyLatency` for this topology."""
         matrix: Dict[Tuple[str, str], Tuple[float, float, float]] = {}
@@ -124,8 +136,16 @@ class ScenarioSpec:
         workload: the scaled (default) block workload.
         full_workload: optional paper-scale workload (``full=True`` runs).
         topology: optional WAN topology; ``None`` means one LAN.
+        latency: optional declarative :class:`~repro.net.spec.LatencySpec`
+            for deployments whose latency is not a region topology (e.g. a
+            ``measured`` RTT matrix). Mutually exclusive with ``topology``,
+            which carries its own latency declaration.
+        link: optional :class:`~repro.net.link.LinkModel` arming sender
+            bottleneck-link physics (finite bandwidth, bounded queue,
+            CoDel drops) — the congestion scenario family sets this.
         placement: org→region map; defaults to round-robin over the
-            topology's regions in declaration order.
+            topology's regions in declaration order. Also valid alongside
+            a region-aware ``latency`` spec, where it must be explicit.
         background: arm the calibrated background traffic by default.
         faults: declarative fault events, compiled per run.
         seeds: default seed list for sweeps.
@@ -144,6 +164,8 @@ class ScenarioSpec:
     workload: WorkloadSpec = WorkloadSpec()
     full_workload: Optional[WorkloadSpec] = None
     topology: Optional[RegionTopology] = None
+    latency: Optional[LatencySpec] = None
+    link: Optional[LinkModel] = None
     placement: Optional[Tuple[Tuple[str, str], ...]] = None
     background: bool = False
     faults: Tuple[FaultEvent, ...] = ()
@@ -158,8 +180,22 @@ class ScenarioSpec:
             raise ValueError("invalid peer/organization counts")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
-        if self.placement is not None and self.topology is None:
-            raise ValueError("placement given without a topology")
+        if (
+            self.placement is not None
+            and self.topology is None
+            and self.latency is None
+        ):
+            raise ValueError("placement given without a topology or latency spec")
+        if self.latency is not None:
+            if self.topology is not None:
+                raise ValueError("latency spec and topology are mutually exclusive")
+            if not isinstance(self.latency, LatencySpec):
+                raise ValueError(
+                    f"latency must be a LatencySpec (a declarative value), "
+                    f"got {type(self.latency).__name__}"
+                )
+        if self.link is not None and not isinstance(self.link, LinkModel):
+            raise ValueError(f"link must be a LinkModel, got {type(self.link).__name__}")
         if self.topology is not None:
             regions = set(self.topology.regions)
             for org, region in self.placement or ():
@@ -167,9 +203,15 @@ class ScenarioSpec:
                     raise ValueError(f"placement of {org!r} in unknown region {region!r}")
 
     def org_regions(self) -> Optional[Dict[str, str]]:
-        """The org→region map, applying the round-robin default."""
+        """The org→region map, applying the round-robin default.
+
+        With a ``topology``, unplaced organizations round-robin over its
+        regions. With a bare region-aware ``latency`` spec (e.g. a
+        ``measured`` matrix) the placement must be explicit — the spec
+        cannot know the model's region names.
+        """
         if self.topology is None:
-            return None
+            return dict(self.placement) if self.placement is not None else None
         if self.placement is not None:
             return dict(self.placement)
         regions = self.topology.regions

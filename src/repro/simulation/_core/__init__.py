@@ -109,6 +109,9 @@ TrafficTotals = _impl.TrafficTotals
 TrafficMonitor = _impl.TrafficMonitor
 make_lan_sampler = _impl.make_lan_sampler
 make_lan_batch_sampler = _impl.make_lan_batch_sampler
+link_enqueue = _impl.link_enqueue
+LINK_DROP_TAIL = _impl.LINK_DROP_TAIL
+LINK_DROP_CODEL = _impl.LINK_DROP_CODEL
 _ENTRY_POOL_MAX = _impl._ENTRY_POOL_MAX
 _COMPACT_MIN_STALE = _impl._COMPACT_MIN_STALE
 _MAX_DENSE_GROWTH = _impl._MAX_DENSE_GROWTH
@@ -120,6 +123,8 @@ __all__ = [
     "DEFAULT_RING_TICKS",
     "DEFAULT_TICKS_PER_SECOND",
     "EventHandle",
+    "LINK_DROP_CODEL",
+    "LINK_DROP_TAIL",
     "SimulationError",
     "Simulator",
     "TimerWheel",
@@ -128,6 +133,7 @@ __all__ = [
     "WheelTimer",
     "active_engine",
     "core_info",
+    "link_enqueue",
     "load_implementation",
     "make_lan_batch_sampler",
     "make_lan_sampler",

@@ -1366,3 +1366,83 @@ def make_lan_batch_sampler(
         return delays
 
     return sample_batch
+
+
+# ---------------------------------------------------------------------------
+# Link queueing kernel (see repro/net/link.py for the LinkModel config)
+# ---------------------------------------------------------------------------
+
+# link_enqueue sentinel returns: the packet was dropped instead of queued.
+LINK_DROP_TAIL: float = -1.0
+LINK_DROP_CODEL: float = -2.0
+
+
+def link_enqueue(
+    state: List[float],
+    now: float,
+    transfer: float,
+    queue_limit: float,
+    target: float,
+    interval: float,
+    max_p: float,
+    ramp: float,
+    uniform: Callable[[], float],
+) -> float:
+    """Admit one packet to a bottleneck link queue; return its drain time.
+
+    ``state`` is the mutable per-link queue state ``[free_at, first_above,
+    drop_count, dropping]`` (floats throughout so the list stays
+    homogeneous for the compiled twin). ``now`` is when the packet reaches
+    the bottleneck, ``transfer`` its serialization time (size/bandwidth).
+
+    Semantics, in order:
+
+    * The packet's queueing delay is ``max(free_at - now, 0)`` — time
+      spent behind packets already serializing. If that exceeds
+      ``queue_limit`` (the queue's capacity expressed in seconds of
+      drain time) the packet is tail-dropped: return ``LINK_DROP_TAIL``,
+      **no RNG consumed, no state mutated**.
+    * CoDel-style AQM (only when ``target > 0``): a queueing delay below
+      ``target`` resets the congestion episode; at or above ``target``
+      the first such packet arms a deadline ``now + interval``, and once
+      the deadline passes the link enters dropping state. While dropping,
+      each packet consumes **exactly one** ``uniform()`` draw and is
+      dropped with probability ``min(max_p, (drop_count + 1) / ramp)``
+      (return ``LINK_DROP_CODEL``) — drop probability ramps up the
+      longer the episode persists, mirroring CoDel's control law without
+      its sqrt schedule.
+    * Otherwise the packet is admitted: ``free_at`` advances to
+      ``start + transfer``, which is returned as the drain time.
+
+    The RNG contract the rest of the stack relies on: a disabled link
+    (infinite ``queue_limit``, ``target <= 0``) consumes **zero** RNG and
+    returns ``now + transfer`` — with ``transfer == 0`` it is a pure
+    no-op, which is what keeps pre-link goldens bit-for-bit identical.
+    """
+    free_at = state[0]
+    start = free_at if free_at > now else now
+    wait = start - now
+    if wait > queue_limit:
+        return LINK_DROP_TAIL
+    if target > 0.0:
+        if wait < target:
+            # Below target: the congestion episode (if any) ends.
+            state[1] = 0.0
+            state[2] = 0.0
+            state[3] = 0.0
+        else:
+            if state[3] == 0.0:
+                if state[1] == 0.0:
+                    state[1] = now + interval
+                elif now >= state[1]:
+                    state[3] = 1.0
+            if state[3] != 0.0:
+                p = (state[2] + 1.0) / ramp
+                if p > max_p:
+                    p = max_p
+                if uniform() < p:
+                    state[2] = state[2] + 1.0
+                    return LINK_DROP_CODEL
+    end = start + transfer
+    state[0] = end
+    return end

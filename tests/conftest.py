@@ -29,7 +29,7 @@ def streams() -> RandomStreams:
 
 @pytest.fixture
 def network(sim, streams) -> Network:
-    config = NetworkConfig(latency_model=ConstantLatency(0.001))
+    config = NetworkConfig(latency=ConstantLatency(0.001))
     return Network(sim, streams, config)
 
 

@@ -1,4 +1,4 @@
-"""Tests for figure configuration factories and series extraction."""
+"""Tests for figure configuration resolution and series extraction."""
 
 import pytest
 
@@ -9,14 +9,11 @@ from repro.experiments.figures import (
     LATENCY_FIGURES,
     bandwidth_figure,
     block_level_figure,
-    config_enhanced_f2,
-    config_enhanced_f4,
-    config_leader_fanout_ablation,
-    config_no_digest_ablation,
-    config_original,
+    figure_config,
     peer_level_figure,
 )
 from repro.gossip.config import EnhancedGossipConfig, OriginalGossipConfig
+from repro.scenarios import scenario_names
 
 
 def test_registry_covers_all_eleven_figures():
@@ -24,35 +21,45 @@ def test_registry_covers_all_eleven_figures():
     assert set(LATENCY_FIGURES) | set(BANDWIDTH_FIGURES) == set(FIGURE_CONFIGS)
 
 
+def test_every_figure_names_a_registered_scenario():
+    registered = set(scenario_names())
+    assert set(FIGURE_CONFIGS.values()) <= registered
+
+
+def test_unknown_figure_raises():
+    with pytest.raises(KeyError):
+        figure_config("fig99")
+
+
 def test_original_config_uses_fabric_defaults():
-    config = config_original()
+    config = figure_config("fig4")
     assert isinstance(config.gossip, OriginalGossipConfig)
     assert config.gossip.fout == 3
     assert config.gossip.t_pull == 4.0
 
 
 def test_enhanced_configs_use_paper_parameters():
-    f4 = config_enhanced_f4().gossip
+    f4 = figure_config("fig7").gossip
     assert (f4.fout, f4.ttl, f4.ttl_direct, f4.leader_fanout) == (4, 9, 2, 1)
-    f2 = config_enhanced_f2().gossip
+    f2 = figure_config("fig12").gossip
     assert (f2.fout, f2.ttl, f2.ttl_direct) == (2, 19, 3)
 
 
 def test_ablation_configs():
-    fig10 = config_leader_fanout_ablation().gossip
+    fig10 = figure_config("fig10").gossip
     assert fig10.leader_fanout == fig10.fout == 4
-    fig11 = config_no_digest_ablation().gossip
+    fig11 = figure_config("fig11").gossip
     assert fig11.use_digests is False
 
 
 def test_full_flag_scales_blocks():
-    assert config_original(full=True).blocks == 1000
-    assert config_original(full=False).blocks < 1000
+    assert figure_config("fig4", full=True).blocks == 1000
+    assert figure_config("fig4", full=False).blocks < 1000
 
 
 def test_background_toggle():
-    assert config_original(with_background=True).background is not None
-    assert config_original(with_background=False).background is None
+    assert figure_config("fig4", with_background=True).background is not None
+    assert figure_config("fig4", with_background=False).background is None
 
 
 @pytest.fixture(scope="module")

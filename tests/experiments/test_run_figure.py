@@ -10,26 +10,24 @@ from repro.experiments.figures import BandwidthFigure, LatencyFigure, run_figure
 @pytest.fixture(autouse=True)
 def tiny_configs(monkeypatch):
     """Shrink every figure config so run_figure() is test-sized."""
-    original = dict(figures_module.FIGURE_CONFIGS)
+    resolve = figures_module.figure_config
 
-    def shrink(factory):
-        def wrapped(full=False, seed=1, with_background=False):
-            config = factory(full=full, seed=seed, with_background=with_background)
-            return DisseminationConfig(
-                gossip=config.gossip,
-                n_peers=12,
-                blocks=3,
-                tx_per_block=3,
-                block_period=0.5,
-                seed=seed,
-                idle_tail=2.0,
-                background=config.background,
-            )
+    def shrunk(figure_id, full=False, seed=1, with_background=False):
+        config = resolve(
+            figure_id, full=full, seed=seed, with_background=with_background
+        )
+        return DisseminationConfig(
+            gossip=config.gossip,
+            n_peers=12,
+            blocks=3,
+            tx_per_block=3,
+            block_period=0.5,
+            seed=seed,
+            idle_tail=2.0,
+            background=config.background,
+        )
 
-        return wrapped
-
-    for figure_id, factory in original.items():
-        monkeypatch.setitem(figures_module.FIGURE_CONFIGS, figure_id, shrink(factory))
+    monkeypatch.setattr(figures_module, "figure_config", shrunk)
 
 
 def test_run_latency_figure():

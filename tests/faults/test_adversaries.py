@@ -27,7 +27,7 @@ from tests.conftest import make_chain
 
 def make_net(sim, nodes=("a", "b", "c")):
     streams = RandomStreams(1)
-    network = Network(sim, streams, NetworkConfig(latency_model=ConstantLatency(0.001)))
+    network = Network(sim, streams, NetworkConfig(latency=ConstantLatency(0.001)))
     inboxes = {}
     for name in nodes:
         inboxes[name] = []

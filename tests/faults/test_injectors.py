@@ -20,7 +20,7 @@ from tests.conftest import make_chain
 
 
 def make_net(sim):
-    network = Network(sim, RandomStreams(1), NetworkConfig(latency_model=ConstantLatency(0.001)))
+    network = Network(sim, RandomStreams(1), NetworkConfig(latency=ConstantLatency(0.001)))
     inboxes = {}
     for name in ("a", "b", "c"):
         inboxes[name] = []

@@ -32,7 +32,7 @@ NODES = ("a", "b", "c", "d", "e", "f")
 def make_net(nodes=NODES):
     sim = Simulator()
     network = Network(
-        sim, RandomStreams(1), NetworkConfig(latency_model=ConstantLatency(0.001))
+        sim, RandomStreams(1), NetworkConfig(latency=ConstantLatency(0.001))
     )
     inboxes = {name: [] for name in nodes}
     for name in nodes:
@@ -188,7 +188,7 @@ def test_compile_schedule_resolves_regions_and_slices():
     from repro.net.network import NetworkConfig
 
     config = NetworkConfig(
-        latency_model=TopologyLatency(matrix={("east", "east"): (0.001,)})
+        latency=TopologyLatency(matrix={("east", "east"): (0.001,)})
     )
     net = build_network(
         n_peers=8,

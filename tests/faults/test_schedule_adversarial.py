@@ -29,7 +29,7 @@ def small_net(**kwargs):
 
 def wan_net():
     config = NetworkConfig(
-        latency_model=TopologyLatency(matrix={("east", "east"): (0.001,)})
+        latency=TopologyLatency(matrix={("east", "east"): (0.001,)})
     )
     return build_network(
         n_peers=8,

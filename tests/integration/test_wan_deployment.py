@@ -13,7 +13,7 @@ def build_wan_net(inter_delay: float, seed: int = 9):
     for index in range(16):
         site_of[f"peer-{index}"] = f"dc{index % 2}"
     config = NetworkConfig(
-        latency_model=WanLatency(
+        latency=WanLatency(
             site_of=site_of,
             intra=ConstantLatency(0.002),
             inter=ConstantLatency(inter_delay),

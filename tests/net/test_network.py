@@ -12,7 +12,7 @@ def make_network(sim, bandwidth=1_000_000.0, latency=0.010, overhead=0, queue_mi
     config = NetworkConfig(
         bandwidth=bandwidth,
         envelope_overhead=overhead,
-        latency_model=ConstantLatency(latency),
+        latency=ConstantLatency(latency),
         downlink_queue_min_bytes=queue_min,
     )
     return Network(sim, RandomStreams(1), config)
@@ -87,7 +87,7 @@ def test_downlink_queue_resolved_in_arrival_order(sim):
     config = NetworkConfig(
         bandwidth=1_000_000.0,
         envelope_overhead=0,
-        latency_model=PerSourceLatency(),
+        latency=PerSourceLatency(),
         downlink_queue_min_bytes=0,
     )
     network = Network(sim, RandomStreams(1), config)
@@ -264,7 +264,7 @@ def test_downlink_arrival_order_with_mixed_paths(sim):
     config = NetworkConfig(
         bandwidth=1_000_000.0,
         envelope_overhead=0,
-        latency_model=PerSourceLatency(),
+        latency=PerSourceLatency(),
         downlink_queue_min_bytes=0,
     )
     network = Network(sim, RandomStreams(1), config)
@@ -293,7 +293,7 @@ def test_early_slow_send_does_not_reserve_downlink_ahead_of_fast_send(sim):
     config = NetworkConfig(
         bandwidth=1_000_000.0,
         envelope_overhead=0,
-        latency_model=PerSourceLatency(),
+        latency=PerSourceLatency(),
         downlink_queue_min_bytes=0,
     )
     network = Network(sim, RandomStreams(1), config)

@@ -34,7 +34,7 @@ def build(latency_model, queue_min, seed):
         NetworkConfig(
             bandwidth=1_000_000.0,
             envelope_overhead=64,
-            latency_model=latency_model,
+            latency=latency_model,
             downlink_queue_min_bytes=queue_min,
         ),
     )

@@ -59,7 +59,7 @@ def _build(seed, latency_model, bandwidth=1_000_000.0, overhead=64, queue_min=25
         NetworkConfig(
             bandwidth=bandwidth,
             envelope_overhead=overhead,
-            latency_model=latency_model,
+            latency=latency_model,
             downlink_queue_min_bytes=queue_min,
         ),
     )
